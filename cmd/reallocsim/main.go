@@ -1,0 +1,97 @@
+// Command reallocsim runs the repository's experiments (E1..E11 in
+// DESIGN.md), each reproducing one claim of "Reallocation Problems in
+// Scheduling" (SPAA 2013), and prints the resulting tables.
+//
+// Usage:
+//
+//	reallocsim -list               # enumerate experiments
+//	reallocsim                     # run everything (full parameters)
+//	reallocsim -quick              # run everything with small parameters
+//	reallocsim -exp E3             # run one experiment
+//	reallocsim -exp E5 -format csv # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment ID (E1..E14) or 'all'")
+		quick  = flag.Bool("quick", false, "use small parameters (seconds instead of minutes)")
+		format = flag.String("format", "text", "output format: text or csv")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		outDir = flag.String("out", "", "also write one <ID>.csv per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "reallocsim: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	var tables []*sim.Table
+	if *expID == "all" {
+		ts, err := sim.RunAll(*quick)
+		if err != nil {
+			fail(err)
+		}
+		tables = ts
+	} else {
+		e, ok := sim.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "reallocsim: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		t, err := e.Run(*quick)
+		if err != nil {
+			fail(err)
+		}
+		tables = []*sim.Table{t}
+	}
+
+	for _, t := range tables {
+		var err error
+		if *format == "csv" {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			if err := writeCSVFile(*outDir, t); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func writeCSVFile(dir string, t *sim.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "reallocsim: %v\n", err)
+	os.Exit(1)
+}

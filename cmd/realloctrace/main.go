@@ -1,0 +1,129 @@
+// Command realloctrace records, replays, and minimizes request traces
+// (JSON Lines, see internal/trace) against any of the repository's
+// schedulers.
+//
+// Usage:
+//
+//	realloctrace -mode gen   -steps 500 -seed 7 > churn.jsonl
+//	realloctrace -mode record -in churn.jsonl > annotated.jsonl
+//	realloctrace -mode replay -in annotated.jsonl      # verify costs match
+//	realloctrace -mode shrink -in failing.jsonl        # minimize a reproducer
+//
+// The -sched flag selects the scheduler: stack (default, the full
+// Theorem 1 composition), core, naive, or edf. -machines sets m where
+// supported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	realloc "repro"
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/naive"
+	"repro/internal/sched"
+	"repro/internal/stress"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "record", "gen | record | replay | shrink")
+		in       = flag.String("in", "", "input trace file (default stdin)")
+		schedKnd = flag.String("sched", "stack", "scheduler: stack | core | naive | edf")
+		machines = flag.Int("machines", 1, "machine count (stack and edf)")
+		steps    = flag.Int("steps", 500, "gen: number of requests")
+		seed     = flag.Int64("seed", 1, "gen: random seed")
+		gamma    = flag.Int64("gamma", 8, "gen: underallocation slack")
+	)
+	flag.Parse()
+
+	factory := func() sched.Scheduler {
+		switch *schedKnd {
+		case "stack":
+			return realloc.New(realloc.WithMachines(*machines))
+		case "core":
+			return core.New(core.WithMaxIntervals(1 << 24))
+		case "naive":
+			return naive.New()
+		case "edf":
+			return edf.New(*machines, edf.TieByArrival)
+		default:
+			fmt.Fprintf(os.Stderr, "realloctrace: unknown scheduler %q\n", *schedKnd)
+			os.Exit(2)
+			return nil
+		}
+	}
+
+	switch *mode {
+	case "gen":
+		g, err := workload.NewGenerator(workload.Config{
+			Seed: *seed, Gamma: *gamma, Machines: *machines, Steps: *steps,
+			Horizon: 4096,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Write(os.Stdout, g.Sequence()); err != nil {
+			fail(err)
+		}
+
+	case "record":
+		reqs, err := trace.Read(input(*in))
+		if err != nil {
+			fail(err)
+		}
+		if _, err := trace.Record(factory(), reqs, os.Stdout); err != nil {
+			fail(err)
+		}
+
+	case "replay":
+		events, err := trace.ReadEvents(input(*in))
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Replay(factory(), events); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "realloctrace: %d events replayed, all recorded costs match\n", len(events))
+
+	case "shrink":
+		reqs, err := trace.Read(input(*in))
+		if err != nil {
+			fail(err)
+		}
+		if !stress.Fails(stress.Factory(factory), reqs) {
+			fmt.Fprintln(os.Stderr, "realloctrace: trace does not fail; nothing to shrink")
+			os.Exit(1)
+		}
+		small := stress.Shrink(stress.Factory(factory), reqs)
+		fmt.Fprintf(os.Stderr, "realloctrace: shrunk %d -> %d requests\n", len(reqs), len(small))
+		if err := trace.Write(os.Stdout, small); err != nil {
+			fail(err)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "realloctrace: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func input(path string) io.Reader {
+	if path == "" {
+		return os.Stdin
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	return f
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "realloctrace: %v\n", err)
+	os.Exit(1)
+}

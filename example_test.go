@@ -1,0 +1,95 @@
+package realloc_test
+
+import (
+	"fmt"
+	"sort"
+
+	realloc "repro"
+)
+
+// The basic lifecycle: insert jobs with windows, read the schedule,
+// delete. Costs report how many jobs each request rescheduled.
+func Example() {
+	s := realloc.New()
+
+	for _, j := range []realloc.Job{
+		{Name: "a", Window: realloc.Win(0, 8)},
+		{Name: "b", Window: realloc.Win(0, 8)},
+		{Name: "c", Window: realloc.Win(4, 6)},
+	} {
+		if _, err := s.Insert(j); err != nil {
+			panic(err)
+		}
+	}
+
+	names := make([]string, 0, 3)
+	asn := s.Assignment()
+	for name := range asn {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := asn[name]
+		fmt.Printf("%s runs in its window: %v\n", name, p.Slot >= 0 && p.Slot < 8)
+	}
+
+	cost, _ := s.Delete("b")
+	fmt.Printf("deleting b rescheduled %d other jobs\n", cost.Reallocations)
+	// Output:
+	// a runs in its window: true
+	// b runs in its window: true
+	// c runs in its window: true
+	// deleting b rescheduled 0 other jobs
+}
+
+// Multi-machine scheduling guarantees at most one migration per request
+// (Theorem 1).
+func ExampleNew_multiMachine() {
+	s := realloc.New(realloc.WithMachines(3))
+	worst := 0
+	for i := 0; i < 9; i++ {
+		name := fmt.Sprintf("job%d", i)
+		if _, err := s.Insert(realloc.Job{Name: name, Window: realloc.Win(0, 64)}); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		cost, err := s.Delete(fmt.Sprintf("job%d", i))
+		if err != nil {
+			panic(err)
+		}
+		if cost.Migrations > worst {
+			worst = cost.Migrations
+		}
+	}
+	fmt.Printf("worst migrations in one request: %d\n", worst)
+	// Output:
+	// worst migrations in one request: 1
+}
+
+// The EDF baseline shows the brittleness the paper's scheduler avoids.
+func ExampleNewEDF() {
+	edf := realloc.NewEDF(1)
+	robust := realloc.New()
+
+	for i := 0; i < 50; i++ {
+		j := realloc.Job{
+			Name:   fmt.Sprintf("task%02d", i),
+			Window: realloc.Win(0, int64(800+i)), // staggered deadlines
+		}
+		if _, err := edf.Insert(j); err != nil {
+			panic(err)
+		}
+		if _, err := robust.Insert(j); err != nil {
+			panic(err)
+		}
+	}
+	urgent := realloc.Job{Name: "urgent", Window: realloc.Win(0, 1)}
+	ce, _ := edf.Insert(urgent)
+	cr, _ := robust.Insert(urgent)
+	fmt.Printf("EDF rescheduled everyone: %v\n", ce.Reallocations > 50)
+	fmt.Printf("reservations rescheduled O(1) jobs: %v\n", cr.Reallocations <= 3)
+	// Output:
+	// EDF rescheduled everyone: true
+	// reservations rescheduled O(1) jobs: true
+}

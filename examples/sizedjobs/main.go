@@ -1,0 +1,59 @@
+// Sizedjobs: the paper's first open question, explored live. Jobs of
+// power-of-two sizes up to k share a machine with unit jobs; sliding the
+// big job across the timeline forces Ω(k) reallocations per sweep
+// (Observation 13), and the block-aligned greedy scheduler matches it
+// with an O(k) upper bound per request.
+//
+// Run with: go run ./examples/sizedjobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/jobs"
+	"repro/internal/sized"
+)
+
+func main() {
+	const k, gamma = 8, 2
+	horizon := int64(2 * gamma * k)
+
+	s := sized.New()
+	window := jobs.Window{Start: 0, End: horizon}
+
+	fmt.Printf("timeline of %d slots, one size-%d job among %d unit jobs\n\n", horizon, k, k)
+
+	// k unit jobs anywhere on the timeline.
+	for i := 0; i < k; i++ {
+		if _, err := s.Insert(sized.Job{Name: fmt.Sprintf("unit-%02d", i), Size: 1, Window: window}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := s.Insert(sized.Job{Name: "tank", Size: k,
+		Window: jobs.Window{Start: 0, End: k}}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Slide the big job across every aligned position and watch the cost.
+	total := 0
+	for pos := int64(1); pos < horizon/k; pos++ {
+		if _, err := s.Delete("tank"); err != nil {
+			log.Fatal(err)
+		}
+		c, err := s.Insert(sized.Job{Name: "tank", Size: k,
+			Window: jobs.Window{Start: pos * k, End: (pos + 1) * k}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += c.Reallocations
+		fmt.Printf("slide to [%2d,%2d): %d jobs rescheduled (O(k)=%d bound)\n",
+			pos*k, (pos+1)*k, c.Reallocations, k+1)
+		if err := s.SelfCheck(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\none full sweep cost: %d — at least k=%d (Observation 13), at most (k+1) per slide\n",
+		total, k)
+	fmt.Println("the bounds meet: this is why the paper restricts its main theorem to unit jobs.")
+}

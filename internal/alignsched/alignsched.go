@@ -1,0 +1,108 @@
+// Package alignsched implements the paper's Section 5 reduction from
+// arbitrary windows to recursively aligned windows: every inserted
+// window W is replaced by ALIGNED(W), a largest aligned sub-window,
+// whose span is at least |W|/4. Lemma 10 shows a 4γ-underallocated
+// instance stays γ-underallocated after the replacement, so composing
+// this wrapper over the multi-machine reservation scheduler yields the
+// full Theorem 1 scheduler for arbitrary (unaligned) windows.
+package alignsched
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Scheduler aligns windows before delegating to an aligned-only inner
+// scheduler.
+type Scheduler struct {
+	inner     sched.Scheduler
+	originals map[string]jobs.Window
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New wraps an aligned-only scheduler.
+func New(inner sched.Scheduler) *Scheduler {
+	return &Scheduler{inner: inner, originals: make(map[string]jobs.Window)}
+}
+
+// Machines returns the inner scheduler's machine count.
+func (s *Scheduler) Machines() int { return s.inner.Machines() }
+
+// Active returns the number of active jobs.
+func (s *Scheduler) Active() int { return len(s.originals) }
+
+// Jobs returns the active jobs with their original (unaligned) windows.
+func (s *Scheduler) Jobs() []jobs.Job {
+	out := make([]jobs.Job, 0, len(s.originals))
+	for name, w := range s.originals {
+		out = append(out, jobs.Job{Name: name, Window: w})
+	}
+	return out
+}
+
+// Assignment returns the inner assignment; every placement lies inside
+// the aligned sub-window and therefore inside the original window.
+func (s *Scheduler) Assignment() jobs.Assignment { return s.inner.Assignment() }
+
+// Insert replaces the job's window with ALIGNED(W) and delegates.
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	if err := j.Validate(); err != nil {
+		return metrics.Cost{}, err
+	}
+	if j.Window.End <= 0 {
+		return metrics.Cost{}, fmt.Errorf("alignsched: window %v lies entirely before time 0", j.Window)
+	}
+	if _, dup := s.originals[j.Name]; dup {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
+	}
+	aligned := align.Aligned(j.Window)
+	cost, err := s.inner.Insert(jobs.Job{Name: j.Name, Window: aligned})
+	if err != nil {
+		return cost, err
+	}
+	s.originals[j.Name] = j.Window
+	return cost, nil
+}
+
+// Delete removes an active job.
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	if _, ok := s.originals[name]; !ok {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+	}
+	cost, err := s.inner.Delete(name)
+	if err != nil {
+		return cost, err
+	}
+	delete(s.originals, name)
+	return cost, nil
+}
+
+// SelfCheck validates the wrapper and the inner scheduler.
+func (s *Scheduler) SelfCheck() error {
+	if err := s.inner.SelfCheck(); err != nil {
+		return err
+	}
+	if s.inner.Active() != len(s.originals) {
+		return fmt.Errorf("alignsched: inner has %d jobs, wrapper tracks %d", s.inner.Active(), len(s.originals))
+	}
+	asn := s.inner.Assignment()
+	for name, orig := range s.originals {
+		p, ok := asn[name]
+		if !ok {
+			return fmt.Errorf("alignsched: job %q missing from inner assignment", name)
+		}
+		if !orig.Contains(p.Slot) {
+			return fmt.Errorf("alignsched: job %q at slot %d outside original window %v", name, p.Slot, orig)
+		}
+		a := align.Aligned(orig)
+		if !a.Contains(p.Slot) {
+			return fmt.Errorf("alignsched: job %q at slot %d outside aligned window %v", name, p.Slot, a)
+		}
+	}
+	return nil
+}

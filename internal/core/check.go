@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/align"
+)
+
+// SelfCheck revalidates every structural invariant of the scheduler:
+// schedule feasibility, Invariant 5's round-robin reservation counts,
+// allowance consistency, fulfillment priority (shortest windows first),
+// and the agreement between window-side and interval-side bookkeeping.
+// It is O(total state) and intended for tests.
+func (s *Scheduler) SelfCheck() error {
+	if s.poisoned != nil {
+		return s.poisoned
+	}
+	// Jobs <-> slots agreement; every job inside its window.
+	if len(s.jobs) != len(s.slots) {
+		return fmt.Errorf("core: %d jobs but %d occupied slots", len(s.jobs), len(s.slots))
+	}
+	for name, j := range s.jobs {
+		if j.name != name {
+			return fmt.Errorf("core: job %q indexed under %q", j.name, name)
+		}
+		if !j.window().Contains(j.slot) {
+			return fmt.Errorf("core: job %q at slot %d outside window %v", name, j.slot, j.window())
+		}
+		if s.slots[j.slot] != j {
+			return fmt.Errorf("core: slot map for %d does not point at job %q", j.slot, name)
+		}
+		if got := align.LevelOfSpan(j.key.span); got != j.level {
+			return fmt.Errorf("core: job %q cached level %d, want %d", name, j.level, got)
+		}
+		// Level >= 1 jobs must sit in a fulfilled slot of their window.
+		if j.level >= 1 {
+			ws := s.windows[j.key]
+			if ws == nil {
+				return fmt.Errorf("core: job %q has no window state", name)
+			}
+			if ws.fulfilled[j.slot] != name {
+				return fmt.Errorf("core: job %q at slot %d not recorded in window %v fulfilled set",
+					name, j.slot, j.window())
+			}
+		}
+	}
+
+	// Window states.
+	xCount := make(map[winKey]int)
+	for _, j := range s.jobs {
+		if j.level >= 1 {
+			xCount[j.key]++
+		}
+	}
+	for key, ws := range s.windows {
+		if ws.key != key {
+			return fmt.Errorf("core: window %v indexed under %v", ws.key.window(), key.window())
+		}
+		if ws.x != xCount[key] {
+			return fmt.Errorf("core: window %v records x=%d but %d active jobs", key.window(), ws.x, xCount[key])
+		}
+		if ws.x > 0 && !ws.materialized {
+			return fmt.Errorf("core: window %v has jobs but is not materialized", key.window())
+		}
+		w := key.window()
+		for t, occ := range ws.fulfilled {
+			if !w.Contains(t) {
+				return fmt.Errorf("core: window %v fulfilled slot %d outside window", w, t)
+			}
+			iv := s.ivs[s.intervalKeyAt(ws.level, t)]
+			if iv == nil {
+				return fmt.Errorf("core: window %v fulfilled slot %d in nonexistent interval", w, t)
+			}
+			if got, ok := iv.assigned[t]; !ok || got != key {
+				return fmt.Errorf("core: window %v fulfilled slot %d not assigned in interval (got %v, ok=%v)",
+					w, t, got, ok)
+			}
+			occupant := s.slots[t]
+			switch {
+			case occ == "":
+				if occupant != nil && occupant.level <= ws.level {
+					return fmt.Errorf("core: window %v slot %d marked job-free but holds level-%d job %q",
+						w, t, occupant.level, occupant.name)
+				}
+			default:
+				if occupant == nil || occupant.name != occ {
+					return fmt.Errorf("core: window %v slot %d records occupant %q but holds %v", w, t, occ, occupant)
+				}
+				if occupant.key != key {
+					return fmt.Errorf("core: window %v slot %d holds foreign same-level job %q", w, t, occ)
+				}
+			}
+		}
+	}
+
+	// Intervals.
+	for key, iv := range s.ivs {
+		if iv.level != key.level || iv.start != key.start {
+			return fmt.Errorf("core: interval (%d,%d) indexed under %+v", iv.level, iv.start, key)
+		}
+		if iv.span != align.IntervalSpan(iv.level) {
+			return fmt.Errorf("core: interval at %d has span %d", iv.start, iv.span)
+		}
+		capacity := 0
+		for t := iv.start; t < iv.start+iv.span; t++ {
+			occ := s.slots[t]
+			inAllowance := occ == nil || occ.level >= iv.level
+			if !inAllowance {
+				if _, assigned := iv.assigned[t]; assigned {
+					return fmt.Errorf("core: interval %d slot %d assigned but outside allowance", iv.start, t)
+				}
+				continue
+			}
+			capacity++
+		}
+		if len(iv.assigned) > capacity {
+			return fmt.Errorf("core: interval %d has %d assigned slots, allowance %d", iv.start, len(iv.assigned), capacity)
+		}
+		// Assigned slots must be inside the interval and agree with the
+		// owning window's fulfilled set.
+		fulfilled := make(map[winKey]int)
+		for t, wk := range iv.assigned {
+			if t < iv.start || t >= iv.start+iv.span {
+				return fmt.Errorf("core: interval %d assigned slot %d out of range", iv.start, t)
+			}
+			ws := s.windows[wk]
+			if ws == nil {
+				return fmt.Errorf("core: interval %d slot %d assigned to unknown window %v", iv.start, t, wk.window())
+			}
+			if _, ok := ws.fulfilled[t]; !ok {
+				return fmt.Errorf("core: interval %d slot %d assigned to %v but missing from its fulfilled set",
+					iv.start, t, wk.window())
+			}
+			fulfilled[wk]++
+		}
+		// Reservation counts: base 1 per enclosing span, plus the
+		// round-robin share of 2x extras (Invariant 5).
+		for wk, count := range iv.resCount {
+			ws := s.windows[wk]
+			if ws == nil {
+				return fmt.Errorf("core: interval %d has reservations for unknown window %v", iv.start, wk.window())
+			}
+			idx := (iv.start - wk.start) / iv.span
+			want := 1 + extraShare(int64(ws.x), idx, ws.numIntervals)
+			if ws.materialized && count != want {
+				return fmt.Errorf("core: interval %d window %v has %d reservations, Invariant 5 wants %d (x=%d idx=%d)",
+					iv.start, wk.window(), count, want, ws.x, idx)
+			}
+			if fulfilled[wk] > count {
+				return fmt.Errorf("core: interval %d window %v fulfills %d of %d reservations",
+					iv.start, wk.window(), fulfilled[wk], count)
+			}
+		}
+		for wk := range fulfilled {
+			if iv.resCount[wk] == 0 {
+				return fmt.Errorf("core: interval %d fulfills reservation of %v without a count", iv.start, wk.window())
+			}
+		}
+		// Fulfillment priority: no waitlisted window may be shorter than a
+		// fulfilled one, and free allowance slots imply an empty waitlist.
+		freeSlots := capacity - len(iv.assigned)
+		var maxFulfilledSpan, minWaitSpan int64
+		minWaitSpan = 1 << 62
+		for wk, count := range iv.resCount {
+			f := fulfilled[wk]
+			if f > 0 && wk.span > maxFulfilledSpan {
+				maxFulfilledSpan = wk.span
+			}
+			if count > f && wk.span < minWaitSpan {
+				minWaitSpan = wk.span
+			}
+		}
+		if minWaitSpan < maxFulfilledSpan {
+			return fmt.Errorf("core: interval %d waitlists a span-%d window while fulfilling a span-%d window",
+				iv.start, minWaitSpan, maxFulfilledSpan)
+		}
+		if freeSlots > 0 && minWaitSpan != 1<<62 {
+			return fmt.Errorf("core: interval %d has %d free slots but a waitlisted span-%d window",
+				iv.start, freeSlots, minWaitSpan)
+		}
+	}
+	return nil
+}
+
+// extraShare is window W's round-robin share of its 2x job reservations
+// at interval index idx (Invariant 5): floor(2x/N) plus one for the first
+// (2x mod N) intervals.
+func extraShare(x, idx, n int64) int {
+	extras := 2 * x
+	share := extras / n
+	if idx < extras%n {
+		share++
+	}
+	return int(share)
+}
+
+// MinLemma8Slack returns the minimum over materialized windows of
+// (fulfilled reservations − x), the quantity Lemma 8 lower-bounds by 1
+// under 8-underallocation. A return of 1 means some window is at the
+// boundary; 0 or less means the invariant's conclusion is violated
+// (possible only on under-slack instances). Returns a large sentinel
+// when no window is materialized.
+func (s *Scheduler) MinLemma8Slack() int {
+	min := 1 << 30
+	for _, ws := range s.windows {
+		if !ws.materialized {
+			continue
+		}
+		if slack := len(ws.fulfilled) - ws.x; slack < min {
+			min = slack
+		}
+	}
+	return min
+}
+
+// VerifyLemma8 checks the guarantee of Lemma 8: every materialized window
+// with x active jobs holds at least x+1 fulfilled reservations. This only
+// holds when the request sequence is 8-underallocated, so it is a
+// separate check from SelfCheck.
+func (s *Scheduler) VerifyLemma8() error {
+	for key, ws := range s.windows {
+		if !ws.materialized {
+			continue
+		}
+		if len(ws.fulfilled) < ws.x+1 {
+			return fmt.Errorf("core: window %v has x=%d jobs but only %d fulfilled reservations (Lemma 8 wants >= %d)",
+				key.window(), ws.x, len(ws.fulfilled), ws.x+1)
+		}
+	}
+	return nil
+}
+
+// ReservationState summarizes which reservations an interval fulfills for
+// one window: Observation 7 says this is history independent.
+type ReservationState struct {
+	Level       int
+	Interval    Time
+	WindowStart Time
+	WindowSpan  int64
+	Fulfilled   int
+	Waitlisted  int
+}
+
+// ReservationSnapshot returns the fulfilled/waitlisted reservation counts
+// of every (interval, window) pair for windows that currently have at
+// least one active job, sorted deterministically. Two schedulers holding
+// the same active job multiset must produce identical snapshots
+// regardless of the request history (Observation 7).
+func (s *Scheduler) ReservationSnapshot() []ReservationState {
+	var out []ReservationState
+	for key, iv := range s.ivs {
+		for wk, count := range iv.resCount {
+			ws := s.windows[wk]
+			if ws == nil || ws.x == 0 {
+				continue
+			}
+			f := s.fulfilledCount(iv, wk)
+			out = append(out, ReservationState{
+				Level:       key.level,
+				Interval:    iv.start,
+				WindowStart: wk.start,
+				WindowSpan:  wk.span,
+				Fulfilled:   f,
+				Waitlisted:  count - f,
+			})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i], out[k]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		if a.WindowSpan != b.WindowSpan {
+			return a.WindowSpan < b.WindowSpan
+		}
+		return a.WindowStart < b.WindowStart
+	})
+	return out
+}
+
+// Stats reports coarse internal statistics, useful in examples and
+// benchmarks.
+type Stats struct {
+	ActiveJobs int
+	Windows    int
+	Intervals  int
+	SlotsInUse int
+}
+
+// Stats returns current internal statistics.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		ActiveJobs: len(s.jobs),
+		Windows:    len(s.windows),
+		Intervals:  len(s.ivs),
+		SlotsInUse: len(s.slots),
+	}
+}

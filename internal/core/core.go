@@ -1,0 +1,858 @@
+// Package core implements the paper's primary contribution (Section 4):
+// the single-machine, reservation-based pecking-order reallocating
+// scheduler for recursively aligned unit jobs, achieving per-request
+// reallocation cost O(min{log* n, log* Δ}) on sufficiently underallocated
+// instances.
+//
+// # Levels and intervals
+//
+// Spans are partitioned into levels by the tower thresholds L1 = 32,
+// L2 = 2^{L1/4} = 256, L3 = 2^{L2/4} = 2^64 (clamped to 2^62 here):
+// level 0 handles spans <= 32, level 1 spans in (32, 256], level 2 the
+// rest. A level-l window with span 2^k * Ll is partitioned into 2^k
+// aligned level-l intervals of exactly Ll slots.
+//
+// # Reservations (Invariant 5)
+//
+// A level-l window W with x active jobs holds 2x + 2^k reservations in
+// its intervals: one base reservation per interval (materialized when
+// the interval is first created, for every possible enclosing span, which
+// is equivalent to the paper's "initially each window has one reservation
+// in each interval"), plus two job reservations per job spread round-robin
+// left to right. Each interval fulfills the reservations of the shortest
+// windows first, up to its allowance (slots not occupied by lower-level
+// jobs); the rest are waitlisted. Under 8-underallocation every window
+// with x jobs keeps at least x+1 fulfilled reservations (Lemma 8), so a
+// job-free fulfilled slot always exists for PLACE and MOVE.
+//
+// # Pecking order
+//
+// Lower levels schedule without regard to higher levels: placing a job in
+// a slot removes that slot from every higher-level interval's allowance
+// and may displace one higher-level job, which is recursively re-placed
+// at its own level (the PLACE cascade, at most one reallocation per
+// level). Base-level jobs (span <= 32) are scheduled by constant-depth
+// pecking-order displacement inside their windows.
+//
+// The scheduler accepts only aligned windows; use the alignsched wrapper
+// for arbitrary windows, the multi wrapper for m machines, and the trim
+// wrapper to bound window spans by the active job count.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Time is an integer timeslot.
+type Time = int64
+
+// topLevel is the highest reservation level (levels are 0, 1, 2).
+const topLevel = align.NumLevels - 1
+
+// winKey identifies an aligned window.
+type winKey struct {
+	start Time
+	span  int64
+}
+
+func (k winKey) window() jobs.Window { return jobs.Window{Start: k.start, End: k.start + k.span} }
+
+func keyOf(w jobs.Window) winKey { return winKey{start: w.Start, span: w.Span()} }
+
+// ivKey identifies a level-l interval by its level and start.
+type ivKey struct {
+	level int
+	start Time
+}
+
+// jobState is one active job.
+type jobState struct {
+	name  string
+	key   winKey
+	level int
+	slot  Time
+}
+
+func (j *jobState) window() jobs.Window { return j.key.window() }
+
+// windowState tracks a level-l (l >= 1) window's jobs and fulfilled
+// reservations. Window states are created lazily (either by a job arrival
+// or by an interval materializing its base reservation) and persist for
+// the lifetime of the scheduler, exactly as the paper's conceptual
+// "every window always has its base reservations".
+type windowState struct {
+	key          winKey
+	level        int
+	numIntervals int64 // 2^k
+	x            int   // active jobs with exactly this window
+	materialized bool  // all intervals created (true once a job arrives)
+	// fulfilled maps each slot backing a fulfilled reservation of this
+	// window to the name of the own-level job occupying it, or "" if the
+	// slot holds no level-l job (it may still hold a higher-level job).
+	fulfilled map[Time]string
+}
+
+// interval is one level-l interval: Ll consecutive slots.
+type interval struct {
+	level int
+	start Time
+	span  int64
+	// resCount is the number of reservations (base + round-robin extras)
+	// each enclosing window currently holds in this interval.
+	resCount map[winKey]int
+	// assigned maps a slot to the window whose fulfilled reservation is
+	// backed by that slot. Slots occupied by lower-level jobs are never
+	// assigned (they are outside the allowance).
+	assigned map[Time]winKey
+}
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithMaxIntervals caps the number of intervals a single window may span
+// (default 1<<20). Inserting a job whose window exceeds the cap returns
+// an error; wrap the scheduler with the trim package to keep windows
+// bounded by the active job count instead.
+func WithMaxIntervals(n int64) Option {
+	return func(s *Scheduler) { s.maxIntervals = n }
+}
+
+// PlacementPolicy selects which fulfilled slot PLACE and MOVE take when
+// several are available. The paper's algorithm is correct under any
+// choice ("the scheduler chooses s without regard to these
+// possibilities"); the policy is an ablation knob for measuring how much
+// the displacement-avoiding heuristic saves.
+type PlacementPolicy uint8
+
+const (
+	// PreferEmpty takes a completely empty slot when one exists,
+	// avoiding a higher-level displacement (default).
+	PreferEmpty PlacementPolicy = iota
+	// LowestSlot always takes the lowest fulfilled slot, displacing
+	// higher-level jobs indiscriminately — the literal reading of the
+	// paper's pecking order.
+	LowestSlot
+)
+
+// WithPlacementPolicy sets the slot-choice heuristic (default
+// PreferEmpty).
+func WithPlacementPolicy(p PlacementPolicy) Option {
+	return func(s *Scheduler) { s.policy = p }
+}
+
+// Scheduler is the reservation-based pecking-order scheduler.
+type Scheduler struct {
+	jobs    map[string]*jobState
+	slots   map[Time]*jobState
+	windows map[winKey]*windowState
+	ivs     map[ivKey]*interval
+
+	maxIntervals int64
+	policy       PlacementPolicy
+	poisoned     error
+
+	// cost accumulates the reallocations of the request in flight;
+	// levelCost attributes them to the level of each moved job.
+	cost      metrics.Cost
+	levelCost [align.NumLevels]int
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns an empty single-machine reservation scheduler.
+func New(opts ...Option) *Scheduler {
+	s := &Scheduler{
+		jobs:         make(map[string]*jobState),
+		slots:        make(map[Time]*jobState),
+		windows:      make(map[winKey]*windowState),
+		ivs:          make(map[ivKey]*interval),
+		maxIntervals: 1 << 20,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Machines returns 1: this is a single-machine scheduler.
+func (s *Scheduler) Machines() int { return 1 }
+
+// Active returns the number of active jobs.
+func (s *Scheduler) Active() int { return len(s.jobs) }
+
+// Jobs returns a snapshot of the active job set.
+func (s *Scheduler) Jobs() []jobs.Job {
+	out := make([]jobs.Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, jobs.Job{Name: j.name, Window: j.window()})
+	}
+	return out
+}
+
+// Assignment returns a snapshot of the schedule (machine always 0).
+func (s *Scheduler) Assignment() jobs.Assignment {
+	out := make(jobs.Assignment, len(s.jobs))
+	for _, j := range s.jobs {
+		out[j.name] = jobs.Placement{Machine: 0, Slot: j.slot}
+	}
+	return out
+}
+
+// Insert adds an aligned job (Figure 1: two RESERVE calls, then PLACE).
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	if s.poisoned != nil {
+		return metrics.Cost{}, s.poisoned
+	}
+	if err := j.Validate(); err != nil {
+		return metrics.Cost{}, err
+	}
+	if !j.Window.IsAligned() {
+		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
+	}
+	if _, dup := s.jobs[j.Name]; dup {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
+	}
+	js := &jobState{name: j.Name, key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
+	if js.level > 0 {
+		if n := js.key.span / align.IntervalSpan(js.level); n > s.maxIntervals {
+			return metrics.Cost{}, fmt.Errorf("core: window %v spans %d intervals, exceeding the cap %d (wrap with trim)",
+				j.Window, n, s.maxIntervals)
+		}
+	}
+	s.cost = metrics.Cost{}
+	s.levelCost = [align.NumLevels]int{}
+
+	var err error
+	if js.level == 0 {
+		err = s.baseInsert(js)
+	} else {
+		err = s.reservedInsert(js)
+	}
+	if err != nil {
+		// A mid-request failure can leave partially updated reservation
+		// state; poison the scheduler so the caller cannot keep using an
+		// inconsistent schedule. (Failures only occur on instances that
+		// are not sufficiently underallocated.)
+		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed insert of %q: %w", j.Name, err)
+		return s.cost, err
+	}
+	s.jobs[j.Name] = js
+	return s.cost, nil
+}
+
+// LastCostByLevel reports how the most recent request's reallocations
+// were distributed across levels — the empirical counterpart of Lemma 9's
+// "O(1) reallocations at each level of the scheduler".
+func (s *Scheduler) LastCostByLevel() [align.NumLevels]int { return s.levelCost }
+
+// Delete removes an active job.
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	if s.poisoned != nil {
+		return metrics.Cost{}, s.poisoned
+	}
+	j, ok := s.jobs[name]
+	if !ok {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+	}
+	s.cost = metrics.Cost{}
+	s.levelCost = [align.NumLevels]int{}
+	var err error
+	if j.level == 0 {
+		s.baseDelete(j)
+	} else {
+		err = s.reservedDelete(j)
+	}
+	if err != nil {
+		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", name, err)
+		return s.cost, err
+	}
+	delete(s.jobs, name)
+	return s.cost, nil
+}
+
+// ---------------------------------------------------------------------
+// Level >= 1: reservation machinery
+// ---------------------------------------------------------------------
+
+// reservedInsert implements the insert path of Figure 1 for levels >= 1.
+func (s *Scheduler) reservedInsert(j *jobState) error {
+	ws, err := s.ensureWindow(j.key)
+	if err != nil {
+		return err
+	}
+	if err := s.materialize(ws); err != nil {
+		return err
+	}
+	xOld := int64(ws.x)
+	ws.x++
+	// Invariant 5: the two new reservations go to the leftmost intervals
+	// with the fewest of W's reservations, i.e. round-robin positions
+	// 2*xOld and 2*xOld+1 (extras are even, so the pair never wraps).
+	r := (2 * xOld) % ws.numIntervals
+	for _, idx := range []int64{r, r + 1} {
+		iv := s.ivs[s.intervalKeyAt(ws.level, ws.key.start+idx*align.IntervalSpan(ws.level))]
+		if iv == nil {
+			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window())
+		}
+		if err := s.addReservation(iv, ws); err != nil {
+			return err
+		}
+	}
+	return s.place(j)
+}
+
+// reservedDelete removes a level >= 1 job and its two newest reservations.
+func (s *Scheduler) reservedDelete(j *jobState) error {
+	ws := s.windows[j.key]
+	if ws == nil {
+		return fmt.Errorf("core: window state missing for %v", j.key.window())
+	}
+	slot := j.slot
+	delete(s.slots, slot)
+	if ws.fulfilled[slot] != j.name {
+		return fmt.Errorf("core: job %q at slot %d not backed by a fulfilled reservation", j.name, slot)
+	}
+	ws.fulfilled[slot] = "" // the reservation stays fulfilled, now job-free
+	// The slot is no longer occupied by a level-l job: higher-level
+	// allowances grow (possibly promoting one waitlisted reservation each).
+	s.growAbove(slot, j.level)
+
+	ws.x--
+	// Remove the two most recently added reservations (the rightmost
+	// intervals holding the most of W's reservations).
+	r := (2 * int64(ws.x)) % ws.numIntervals
+	for _, idx := range []int64{r + 1, r} {
+		iv := s.ivs[s.intervalKeyAt(ws.level, ws.key.start+idx*align.IntervalSpan(ws.level))]
+		if iv == nil {
+			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window())
+		}
+		if err := s.removeReservation(iv, ws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place implements PLACE (Figure 1 lines 15-23): put the job in a
+// job-free fulfilled slot of its window, shrink higher allowances, and
+// cascade any displaced higher-level job.
+func (s *Scheduler) place(j *jobState) error {
+	cur := j
+	for {
+		ws := s.windows[cur.key]
+		if ws == nil {
+			return fmt.Errorf("core: window state missing for %v", cur.key.window())
+		}
+		slot, ok := s.pickFulfilledSlot(ws)
+		if !ok {
+			return &sched.InfeasibleError{
+				Req:    jobs.Request{Kind: jobs.Insert, Name: cur.name, Window: cur.window()},
+				Detail: fmt.Sprintf("window %v has no job-free fulfilled reservation (Lemma 8 requires 8-underallocation)", cur.key.window()),
+			}
+		}
+		displaced := s.slots[slot] // nil, or a strictly higher-level job
+		s.slots[slot] = cur
+		cur.slot = slot
+		s.cost.Reallocations++
+		s.levelCost[cur.level]++
+		ws.fulfilled[slot] = cur.name
+
+		hLevel := topLevel + 1
+		if displaced != nil {
+			if displaced.level <= cur.level {
+				return fmt.Errorf("core: fulfilled slot %d of %v held level-%d job %q (pecking order violated)",
+					slot, cur.key.window(), displaced.level, displaced.name)
+			}
+			hLevel = displaced.level
+		}
+		// The slot is now occupied by a level-cur job: remove it from the
+		// allowance of every higher-level interval up to the displaced
+		// job's level (above that it was already occupied).
+		for lvl := cur.level + 1; lvl <= topLevel && lvl <= hLevel; lvl++ {
+			iv := s.ivs[s.intervalKeyAt(lvl, slot)]
+			if iv == nil {
+				continue
+			}
+			if err := s.shrink(iv, slot); err != nil {
+				return err
+			}
+		}
+		if displaced == nil {
+			return nil
+		}
+		cur = displaced // re-place at its own (higher) level
+	}
+}
+
+// pickFulfilledSlot returns a fulfilled slot of ws with no own-level job.
+// Under PreferEmpty it prefers completely empty slots (avoiding a
+// higher-level displacement); under LowestSlot it takes the lowest slot
+// regardless. Ties break toward the lowest slot for determinism.
+func (s *Scheduler) pickFulfilledSlot(ws *windowState) (Time, bool) {
+	best, bestEmpty := Time(0), false
+	found := false
+	for t, occ := range ws.fulfilled {
+		if occ != "" {
+			continue
+		}
+		if s.policy == LowestSlot {
+			if !found || t < best {
+				best, found = t, true
+			}
+			continue
+		}
+		empty := s.slots[t] == nil
+		switch {
+		case !found,
+			empty && !bestEmpty,
+			empty == bestEmpty && t < best:
+			best, bestEmpty, found = t, empty, true
+		}
+	}
+	return best, found
+}
+
+// move implements MOVE (Figure 1 lines 10-14): job j lost the reservation
+// backing its slot (the caller has already unassigned it); relocate j to
+// another job-free fulfilled slot of its window, swapping the two slots'
+// state in every ancestor interval and physically relocating at most one
+// higher-level job.
+func (s *Scheduler) move(j *jobState) error {
+	ws := s.windows[j.key]
+	from := j.slot
+	to, ok := s.pickFulfilledSlot(ws)
+	if !ok {
+		return &sched.InfeasibleError{
+			Req:    jobs.Request{Kind: jobs.Insert, Name: j.name, Window: j.window()},
+			Detail: fmt.Sprintf("MOVE: window %v has no job-free fulfilled reservation", j.key.window()),
+		}
+	}
+	h := s.slots[to] // nil or higher-level job occupying the fulfilled slot
+	if h != nil && h.level <= j.level {
+		return fmt.Errorf("core: MOVE target %d of %v held level-%d job %q", to, j.key.window(), h.level, h.name)
+	}
+	// Physical relocation: j goes from 'from' to 'to'; any higher-level
+	// occupant of 'to' takes j's old slot 'from'.
+	delete(s.slots, from)
+	if h != nil {
+		s.slots[from] = h
+		h.slot = from
+		s.cost.Reallocations++
+		s.levelCost[h.level]++
+		// h's own window keeps its fulfilled reservation; the per-level
+		// swap below renames the backing slot from 'to' to 'from'.
+	}
+	s.slots[to] = j
+	j.slot = to
+	s.cost.Reallocations++
+	s.levelCost[j.level]++
+	ws.fulfilled[to] = j.name
+
+	// Swap the two slots' assignment state in every ancestor interval
+	// (levels above j's). Both slots lie inside j's window, which is
+	// contained in a single interval at every higher level, so the net
+	// allowance of each ancestor is unchanged: no promotion or waitlist
+	// adjustments are needed.
+	for lvl := j.level + 1; lvl <= topLevel; lvl++ {
+		iv := s.ivs[s.intervalKeyAt(lvl, from)]
+		if iv == nil {
+			continue
+		}
+		if s.intervalKeyAt(lvl, to) != (ivKey{level: lvl, start: iv.start}) {
+			return fmt.Errorf("core: MOVE slots %d and %d straddle level-%d intervals", from, to, lvl)
+		}
+		s.swapAssigned(iv, from, to)
+	}
+	return nil
+}
+
+// swapAssigned exchanges the reservation assignments of slots a and b in
+// interval iv, renaming the backing slots in the owning windows' state.
+func (s *Scheduler) swapAssigned(iv *interval, a, b Time) {
+	wa, oka := iv.assigned[a]
+	wb, okb := iv.assigned[b]
+	delete(iv.assigned, a)
+	delete(iv.assigned, b)
+	if oka {
+		iv.assigned[b] = wa
+		wsa := s.windows[wa]
+		occ := wsa.fulfilled[a]
+		delete(wsa.fulfilled, a)
+		wsa.fulfilled[b] = occ
+	}
+	if okb {
+		iv.assigned[a] = wb
+		wsb := s.windows[wb]
+		occ := wsb.fulfilled[b]
+		delete(wsb.fulfilled, b)
+		wsb.fulfilled[a] = occ
+	}
+}
+
+// addReservation implements RESERVE (Figure 1 lines 1-9) at interval iv
+// for window ws.
+func (s *Scheduler) addReservation(iv *interval, ws *windowState) error {
+	iv.resCount[ws.key]++
+	if f, ok := s.freeSlot(iv); ok {
+		s.assign(iv, f, ws)
+		return nil
+	}
+	longKey, ok := s.longestFulfilled(iv)
+	if !ok || s.windows[longKey].key.span <= ws.key.span {
+		return nil // the new reservation is waitlisted
+	}
+	// Steal a slot from the longest fulfilled window, preferring a
+	// job-free one; its reservation is waitlisted.
+	victim := s.windows[longKey]
+	slot, occupant := s.pickAssignedSlot(iv, victim)
+	s.unassign(iv, slot)
+	if occupant != "" {
+		if err := s.move(s.jobs[occupant]); err != nil {
+			return err
+		}
+	}
+	s.assign(iv, slot, ws)
+	return nil
+}
+
+// removeReservation drops one of ws's reservations at iv, releasing a
+// fulfilled slot (and moving its job) only when the remaining count
+// requires it, then promotes the shortest waitlisted window.
+func (s *Scheduler) removeReservation(iv *interval, ws *windowState) error {
+	if iv.resCount[ws.key] <= 0 {
+		return fmt.Errorf("core: removing nonexistent reservation of %v at interval %d", ws.key.window(), iv.start)
+	}
+	iv.resCount[ws.key]--
+	if s.fulfilledCount(iv, ws.key) <= iv.resCount[ws.key] {
+		return nil // a waitlisted reservation absorbed the removal
+	}
+	slot, occupant := s.pickAssignedSlot(iv, ws)
+	s.unassign(iv, slot)
+	if occupant != "" {
+		if err := s.move(s.jobs[occupant]); err != nil {
+			return err
+		}
+	}
+	s.promote(iv, slot)
+	return nil
+}
+
+// shrink removes slot t from interval iv's allowance after a lower-level
+// job occupied it (Figure 1 lines 17-21). If the slot backed a fulfilled
+// reservation, that window is re-fulfilled from a free slot, or by
+// waitlisting the longest fulfilled window (moving its job if one backed
+// the stolen slot); otherwise it becomes waitlisted itself.
+func (s *Scheduler) shrink(iv *interval, t Time) error {
+	vKey, ok := iv.assigned[t]
+	if !ok {
+		return nil
+	}
+	v := s.windows[vKey]
+	s.unassign(iv, t) // any own-level occupant is the displaced job handled by the caller
+	if f, ok := s.freeSlot(iv); ok {
+		s.assign(iv, f, v)
+		return nil
+	}
+	longKey, ok := s.longestFulfilled(iv)
+	if !ok || s.windows[longKey].key.span <= v.key.span {
+		return nil // v's reservation is waitlisted
+	}
+	victim := s.windows[longKey]
+	slot, occupant := s.pickAssignedSlot(iv, victim)
+	s.unassign(iv, slot)
+	if occupant != "" {
+		if err := s.move(s.jobs[occupant]); err != nil {
+			return err
+		}
+	}
+	s.assign(iv, slot, v)
+	return nil
+}
+
+// growAbove returns slot t to the allowance of every existing interval at
+// levels strictly above l, promoting one waitlisted reservation each.
+func (s *Scheduler) growAbove(t Time, l int) {
+	for lvl := l + 1; lvl <= topLevel; lvl++ {
+		iv := s.ivs[s.intervalKeyAt(lvl, t)]
+		if iv == nil {
+			continue
+		}
+		s.promote(iv, t)
+	}
+}
+
+// promote assigns the free slot t to the shortest window with a
+// waitlisted reservation at iv, if any.
+func (s *Scheduler) promote(iv *interval, t Time) {
+	var best *windowState
+	for key, count := range iv.resCount {
+		if count <= s.fulfilledCount(iv, key) {
+			continue
+		}
+		ws := s.windows[key]
+		if best == nil || ws.key.span < best.key.span ||
+			(ws.key.span == best.key.span && ws.key.start < best.key.start) {
+			best = ws
+		}
+	}
+	if best != nil {
+		s.assign(iv, t, best)
+	}
+}
+
+// assign backs a fulfilled reservation of ws with slot t.
+func (s *Scheduler) assign(iv *interval, t Time, ws *windowState) {
+	if _, taken := iv.assigned[t]; taken {
+		panic(fmt.Sprintf("core: slot %d already assigned in interval %d", t, iv.start))
+	}
+	iv.assigned[t] = ws.key
+	ws.fulfilled[t] = "" // a fresh fulfilled slot never holds an own-level job
+}
+
+// unassign releases the reservation backing slot t, returning the name of
+// the own-level job that occupied it ("" if none). The caller is
+// responsible for relocating that job.
+func (s *Scheduler) unassign(iv *interval, t Time) string {
+	key, ok := iv.assigned[t]
+	if !ok {
+		panic(fmt.Sprintf("core: slot %d not assigned in interval %d", t, iv.start))
+	}
+	delete(iv.assigned, t)
+	ws := s.windows[key]
+	occ := ws.fulfilled[t]
+	delete(ws.fulfilled, t)
+	return occ
+}
+
+// pickAssignedSlot returns one of ws's fulfilled slots in iv, preferring
+// slots without an own-level job, then the lowest slot. It also returns
+// the occupying own-level job name ("" if none).
+func (s *Scheduler) pickAssignedSlot(iv *interval, ws *windowState) (Time, string) {
+	best, bestOcc := Time(0), ""
+	found := false
+	for t := iv.start; t < iv.start+iv.span; t++ {
+		if key, ok := iv.assigned[t]; ok && key == ws.key {
+			occ := ws.fulfilled[t]
+			if !found || (occ == "" && bestOcc != "") {
+				best, bestOcc, found = t, occ, true
+				if occ == "" {
+					return best, bestOcc
+				}
+			}
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("core: window %v has no fulfilled slot in interval %d", ws.key.window(), iv.start))
+	}
+	return best, bestOcc
+}
+
+// freeSlot returns the lowest slot of iv that is inside the allowance and
+// not yet assigned.
+func (s *Scheduler) freeSlot(iv *interval) (Time, bool) {
+	for t := iv.start; t < iv.start+iv.span; t++ {
+		if _, taken := iv.assigned[t]; taken {
+			continue
+		}
+		if occ := s.slots[t]; occ != nil && occ.level < iv.level {
+			continue // outside the allowance
+		}
+		return t, true
+	}
+	return 0, false
+}
+
+// longestFulfilled returns the window with the longest span holding at
+// least one fulfilled reservation in iv (ties broken by start).
+func (s *Scheduler) longestFulfilled(iv *interval) (winKey, bool) {
+	var best winKey
+	found := false
+	for _, key := range iv.assigned {
+		if !found || key.span > best.span || (key.span == best.span && key.start < best.start) {
+			best = key
+			found = true
+		}
+	}
+	return best, found
+}
+
+// fulfilledCount counts ws's fulfilled reservations in iv.
+func (s *Scheduler) fulfilledCount(iv *interval, key winKey) int {
+	n := 0
+	for _, k := range iv.assigned {
+		if k == key {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Window and interval lifecycle
+// ---------------------------------------------------------------------
+
+// ensureWindow returns (creating if needed) the window state for key.
+// Creation does not materialize the window's intervals.
+func (s *Scheduler) ensureWindow(key winKey) (*windowState, error) {
+	if ws, ok := s.windows[key]; ok {
+		return ws, nil
+	}
+	level := align.LevelOfSpan(key.span)
+	if level == 0 {
+		return nil, fmt.Errorf("core: window %v is base-level; no window state needed", key.window())
+	}
+	n := key.span / align.IntervalSpan(level)
+	ws := &windowState{
+		key:          key,
+		level:        level,
+		numIntervals: n,
+		fulfilled:    make(map[Time]string),
+	}
+	s.windows[key] = ws
+	return ws, nil
+}
+
+// materialize creates every interval of ws (idempotent). Called before
+// the first job of a window arrives, so that all of the window's base
+// reservations physically exist, matching Invariant 5's 2^k term.
+func (s *Scheduler) materialize(ws *windowState) error {
+	if ws.materialized {
+		return nil
+	}
+	ivSpan := align.IntervalSpan(ws.level)
+	for t := ws.key.start; t < ws.key.start+ws.key.span; t += ivSpan {
+		if _, err := s.getInterval(ws.level, t); err != nil {
+			return err
+		}
+	}
+	ws.materialized = true
+	return nil
+}
+
+// intervalKeyAt returns the key of the level-lvl interval containing t.
+func (s *Scheduler) intervalKeyAt(lvl int, t Time) ivKey {
+	return ivKey{level: lvl, start: mathx.AlignDown(t, align.IntervalSpan(lvl))}
+}
+
+// getInterval returns (creating if needed) the level-lvl interval
+// starting at start. Creation scans current slot occupancy to derive the
+// allowance and installs one base reservation for every possible
+// enclosing window span, fulfilled shortest-first.
+func (s *Scheduler) getInterval(lvl int, start Time) (*interval, error) {
+	key := s.intervalKeyAt(lvl, start)
+	if iv, ok := s.ivs[key]; ok {
+		return iv, nil
+	}
+	iv := &interval{
+		level:    lvl,
+		start:    key.start,
+		span:     align.IntervalSpan(lvl),
+		resCount: make(map[winKey]int),
+		assigned: make(map[Time]winKey),
+	}
+	s.ivs[key] = iv
+	// Base reservations: one per enclosing window, fulfilled in
+	// shortest-span-first order into the allowance.
+	for _, span := range align.SpansAtLevel(lvl) {
+		w := align.EnclosingAligned(iv.start, span)
+		ws, err := s.ensureWindow(keyOf(w))
+		if err != nil {
+			return nil, err
+		}
+		iv.resCount[ws.key]++
+		if f, ok := s.freeSlot(iv); ok {
+			s.assign(iv, f, ws)
+		}
+	}
+	return iv, nil
+}
+
+// ---------------------------------------------------------------------
+// Base level (spans <= 32): constant-depth pecking-order displacement
+// ---------------------------------------------------------------------
+
+// baseInsert schedules a base-level job by pecking-order displacement
+// among base jobs; only the cascade's final placement consumes a new slot,
+// so exactly one higher-level allowance shrink (and at most one displaced
+// higher-level job) results.
+func (s *Scheduler) baseInsert(j *jobState) error {
+	cur := j
+	for {
+		w := cur.window()
+		// Prefer a completely empty slot, then a slot holding only a
+		// higher-level job.
+		finalSlot, finalOK := Time(0), false
+		finalEmpty := false
+		var victim *jobState
+		for t := w.Start; t < w.End; t++ {
+			occ := s.slots[t]
+			switch {
+			case occ == nil:
+				if !finalOK || !finalEmpty {
+					finalSlot, finalOK, finalEmpty = t, true, true
+				}
+			case occ.level > 0:
+				if !finalOK {
+					finalSlot, finalOK, finalEmpty = t, true, false
+				}
+			default: // base-level occupant: displacement candidate if longer
+				if victim == nil && occ.key.span > cur.key.span {
+					victim = occ
+				}
+			}
+			if finalOK && finalEmpty {
+				break
+			}
+		}
+		if finalOK {
+			displaced := s.slots[finalSlot] // nil or higher-level
+			s.slots[finalSlot] = cur
+			cur.slot = finalSlot
+			s.cost.Reallocations++
+			s.levelCost[0]++
+			hLevel := topLevel + 1
+			if displaced != nil {
+				hLevel = displaced.level
+			}
+			for lvl := 1; lvl <= topLevel && lvl <= hLevel; lvl++ {
+				iv := s.ivs[s.intervalKeyAt(lvl, finalSlot)]
+				if iv == nil {
+					continue
+				}
+				if err := s.shrink(iv, finalSlot); err != nil {
+					return err
+				}
+			}
+			if displaced == nil {
+				return nil
+			}
+			return s.place(displaced)
+		}
+		if victim == nil {
+			return &sched.InfeasibleError{
+				Req:    jobs.Request{Kind: jobs.Insert, Name: cur.name, Window: cur.window()},
+				Detail: fmt.Sprintf("base window %v fully occupied by equal-or-shorter spans", w),
+			}
+		}
+		// Swap with the longer-span base job: the set of base-occupied
+		// slots is unchanged, so no higher-level bookkeeping is needed.
+		slot := victim.slot
+		s.slots[slot] = cur
+		cur.slot = slot
+		s.cost.Reallocations++
+		s.levelCost[0]++
+		cur = victim
+	}
+}
+
+// baseDelete removes a base-level job, growing higher allowances.
+func (s *Scheduler) baseDelete(j *jobState) {
+	delete(s.slots, j.slot)
+	s.growAbove(j.slot, 0)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/align"
+)
+
+// LevelStats summarizes one reservation level's state.
+type LevelStats struct {
+	Level      int
+	Jobs       int // active jobs whose span falls in this level
+	Windows    int // window states (including x=0 bookkeeping windows)
+	Intervals  int // materialized intervals
+	Fulfilled  int // fulfilled reservations across the level's intervals
+	Waitlisted int // waitlisted reservations across the level's intervals
+}
+
+// LevelBreakdown reports per-level statistics, the view used to reason
+// about where reallocation work happens (base level excluded from the
+// reservation counters, since it has none).
+func (s *Scheduler) LevelBreakdown() []LevelStats {
+	out := make([]LevelStats, align.NumLevels)
+	for l := range out {
+		out[l].Level = l
+	}
+	for _, j := range s.jobs {
+		out[j.level].Jobs++
+	}
+	for _, ws := range s.windows {
+		out[ws.level].Windows++
+	}
+	for key, iv := range s.ivs {
+		out[key.level].Intervals++
+		fulfilled := make(map[winKey]int)
+		for _, wk := range iv.assigned {
+			fulfilled[wk]++
+		}
+		for wk, count := range iv.resCount {
+			f := fulfilled[wk]
+			out[key.level].Fulfilled += f
+			out[key.level].Waitlisted += count - f
+		}
+	}
+	return out
+}
+
+// DebugDump writes a human-readable rendering of the complete internal
+// state: every window's jobs and fulfilled slots, every interval's
+// allowance and reservation table. Intended for debugging failing
+// sequences found by the stress shrinker.
+func (s *Scheduler) DebugDump(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "core scheduler: %d jobs, %d windows, %d intervals\n",
+		len(s.jobs), len(s.windows), len(s.ivs)); err != nil {
+		return err
+	}
+	if s.poisoned != nil {
+		if _, err := fmt.Fprintf(w, "POISONED: %v\n", s.poisoned); err != nil {
+			return err
+		}
+	}
+
+	// Jobs sorted by slot.
+	names := make([]string, 0, len(s.jobs))
+	for name := range s.jobs {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, k int) bool { return s.jobs[names[i]].slot < s.jobs[names[k]].slot })
+	for _, name := range names {
+		j := s.jobs[name]
+		if _, err := fmt.Fprintf(w, "  job %-12s level %d window %-18v slot %d\n",
+			j.name, j.level, j.window(), j.slot); err != nil {
+			return err
+		}
+	}
+
+	// Windows with activity, sorted by (level, start, span).
+	keys := make([]winKey, 0, len(s.windows))
+	for key, ws := range s.windows {
+		if ws.x > 0 || len(ws.fulfilled) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, k int) bool {
+		a, b := keys[i], keys[k]
+		if a.span != b.span {
+			return a.span < b.span
+		}
+		return a.start < b.start
+	})
+	for _, key := range keys {
+		ws := s.windows[key]
+		slots := make([]Time, 0, len(ws.fulfilled))
+		for t := range ws.fulfilled {
+			slots = append(slots, t)
+		}
+		sort.Slice(slots, func(i, k int) bool { return slots[i] < slots[k] })
+		if _, err := fmt.Fprintf(w, "  window %-18v level %d x=%d fulfilled=%d:",
+			key.window(), ws.level, ws.x, len(slots)); err != nil {
+			return err
+		}
+		for _, t := range slots {
+			occ := ws.fulfilled[t]
+			if occ == "" {
+				occ = "-"
+			}
+			if _, err := fmt.Fprintf(w, " %d(%s)", t, occ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+
+	// Intervals sorted by (level, start).
+	ivKeys := make([]ivKey, 0, len(s.ivs))
+	for key := range s.ivs {
+		ivKeys = append(ivKeys, key)
+	}
+	sort.Slice(ivKeys, func(i, k int) bool {
+		if ivKeys[i].level != ivKeys[k].level {
+			return ivKeys[i].level < ivKeys[k].level
+		}
+		return ivKeys[i].start < ivKeys[k].start
+	})
+	for _, key := range ivKeys {
+		iv := s.ivs[key]
+		capacity := 0
+		for t := iv.start; t < iv.start+iv.span; t++ {
+			if occ := s.slots[t]; occ == nil || occ.level >= iv.level {
+				capacity++
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  interval L%d [%d,%d) allowance=%d assigned=%d reservations=%d\n",
+			iv.level, iv.start, iv.start+iv.span, capacity, len(iv.assigned), totalRes(iv)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func totalRes(iv *interval) int {
+	n := 0
+	for _, c := range iv.resCount {
+		n += c
+	}
+	return n
+}

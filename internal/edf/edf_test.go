@@ -1,0 +1,165 @@
+package edf
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func win(start, end int64) jobs.Window { return jobs.Window{Start: start, End: end} }
+
+func job(name string, start, end int64) jobs.Job {
+	return jobs.Job{Name: name, Window: win(start, end)}
+}
+
+func TestBasicInsertDelete(t *testing.T) {
+	s := New(1, TieByArrival)
+	c, err := s.Insert(job("a", 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reallocations != 1 {
+		t.Errorf("cost = %+v", c)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != 0 {
+		t.Error("not deleted")
+	}
+}
+
+func TestInfeasibleRollsBack(t *testing.T) {
+	s := New(1, TieByArrival)
+	if _, err := s.Insert(job("a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(job("b", 0, 1)); !errors.Is(err, sched.ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unlike core, EDF-recompute can roll back trivially.
+	if s.Active() != 1 {
+		t.Errorf("active = %d", s.Active())
+	}
+	if _, err := s.Insert(job("c", 4, 8)); err != nil {
+		t.Errorf("scheduler unusable after rejected insert: %v", err)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	s := New(2, TieByName)
+	if _, err := s.Insert(job("a", 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(job("a", 0, 8)); !errors.Is(err, sched.ErrDuplicateJob) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := s.Delete("ghost"); !errors.Is(err, sched.ErrUnknownJob) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+// The brittleness the paper describes: n jobs sharing a big window are
+// packed in deadline order; inserting one job with an earlier deadline
+// shifts every one of them, Θ(n) reallocations despite 2-underallocation.
+func TestFrontInsertCascade(t *testing.T) {
+	s := New(1, TieByArrival)
+	const n = 64
+	for i := 0; i < n; i++ {
+		// Jobs with staggered deadlines: job i has window [0, 2n + i + 1).
+		if _, err := s.Insert(job(fmt.Sprintf("j%03d", i), 0, int64(2*n+i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All n jobs sit in slots 0..n-1 in deadline order.
+	c, err := s.Insert(job("urgent", 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reallocations < n/2 {
+		t.Errorf("front insert moved only %d jobs; EDF brittleness should move ~%d", c.Reallocations, n)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiMachine(t *testing.T) {
+	s := New(3, TieByArrival)
+	for i := 0; i < 9; i++ {
+		if _, err := s.Insert(job(fmt.Sprintf("j%d", i), 0, 3)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomChurnStaysFeasible(t *testing.T) {
+	g, err := workload.NewGenerator(workload.Config{Seed: 5, Gamma: 4, Horizon: 512, Steps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(1, TieByArrival)
+	if _, err := sched.RunChecked(s, g.Sequence(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoliciesDiffer(t *testing.T) {
+	// Same deadline, different arrivals: TieByArrival prefers the earlier
+	// arrival; TieByName prefers the lexicographically smaller name.
+	build := func(p Policy) jobs.Assignment {
+		s := New(1, p)
+		// "z" arrives earlier, "a" later; both deadline 4.
+		if _, err := s.Insert(job("z", 0, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Insert(job("a", 1, 4)); err != nil {
+			t.Fatal(err)
+		}
+		return s.Assignment()
+	}
+	byArrival := build(TieByArrival)
+	byName := build(TieByName)
+	if byArrival["z"].Slot != 0 {
+		t.Errorf("TieByArrival: z at %d", byArrival["z"].Slot)
+	}
+	// TieByName: at slot 0 only z is available, so z still runs first;
+	// at slot 1 'a' vs nothing. Use three jobs to expose the difference.
+	s := New(1, TieByName)
+	for _, j := range []jobs.Job{job("z", 0, 4), job("b", 0, 4)} {
+		if _, err := s.Insert(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asn := s.Assignment()
+	if asn["b"].Slot != 0 || asn["z"].Slot != 1 {
+		t.Errorf("TieByName order wrong: %v", asn)
+	}
+	_ = byName
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 accepted")
+		}
+	}()
+	New(0, TieByArrival)
+}

@@ -1,0 +1,101 @@
+package feasible
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/jobs"
+)
+
+// CriticalInterval reports the congestion of one critical interval
+// [Start, End): the jobs whose windows nest inside it versus its
+// capacity m*(End-Start).
+type CriticalInterval struct {
+	Start, End jobs.Time
+	Jobs       int
+	Capacity   int64 // m * span
+	// Load is Jobs/Capacity; the instance is γ-underallocated iff the
+	// maximum Load over all critical intervals is <= 1/γ.
+	Load float64
+}
+
+// String renders the interval diagnostics compactly.
+func (c CriticalInterval) String() string {
+	return fmt.Sprintf("[%d,%d): %d jobs / %d slots (load %.3f)",
+		c.Start, c.End, c.Jobs, c.Capacity, c.Load)
+}
+
+// Diagnose returns the `top` most congested critical intervals of the
+// job set on m machines, most congested first — the diagnostic view for
+// "why did the scheduler reject my instance". Intervals with zero jobs
+// are skipped.
+func Diagnose(js []jobs.Job, m int, top int) []CriticalInterval {
+	if len(js) == 0 || top <= 0 {
+		return nil
+	}
+	starts := make([]jobs.Time, 0, len(js))
+	ends := make([]jobs.Time, 0, len(js))
+	for _, j := range js {
+		starts = append(starts, j.Window.Start)
+		ends = append(ends, j.Window.End)
+	}
+	dedupSort(&starts)
+	dedupSort(&ends)
+
+	var out []CriticalInterval
+	for _, s := range starts {
+		for _, t := range ends {
+			if t <= s {
+				continue
+			}
+			count := 0
+			for _, j := range js {
+				if j.Window.Start >= s && j.Window.End <= t {
+					count++
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			capSlots := int64(m) * (t - s)
+			out = append(out, CriticalInterval{
+				Start: s, End: t, Jobs: count, Capacity: capSlots,
+				Load: float64(count) / float64(capSlots),
+			})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Load != out[k].Load {
+			return out[i].Load > out[k].Load
+		}
+		if out[i].Start != out[k].Start {
+			return out[i].Start < out[k].Start
+		}
+		return out[i].End < out[k].End
+	})
+	if len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// SlackProfile summarizes an instance's slack: the bottleneck interval
+// and the largest integer γ for which the counting condition holds.
+type SlackProfile struct {
+	Bottleneck CriticalInterval
+	// Gamma is the largest integer slack factor (0 if infeasible even at
+	// γ=1, 1<<30 if the set is empty).
+	Gamma int64
+	// Feasible reports Hall's condition at γ=1.
+	Feasible bool
+}
+
+// Profile computes the slack profile of a job set on m machines.
+func Profile(js []jobs.Job, m int) SlackProfile {
+	p := SlackProfile{Gamma: MaxCongestion(js, m)}
+	p.Feasible = p.Gamma >= 1
+	if worst := Diagnose(js, m, 1); len(worst) > 0 {
+		p.Bottleneck = worst[0]
+	}
+	return p
+}

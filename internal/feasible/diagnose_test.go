@@ -1,0 +1,94 @@
+package feasible
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+func TestDiagnoseFindsBottleneck(t *testing.T) {
+	js := []jobs2{
+		{"a", 0, 4}, {"b", 0, 4}, {"c", 0, 4}, // load 0.75 in [0,4)
+		{"d", 0, 64}, // slack elsewhere
+	}
+	out := Diagnose(toJobs(js), 1, 3)
+	if len(out) == 0 {
+		t.Fatal("no intervals")
+	}
+	top := out[0]
+	if top.Start != 0 || top.End != 4 || top.Jobs != 3 {
+		t.Errorf("bottleneck = %v", top)
+	}
+	if top.Load != 0.75 {
+		t.Errorf("load = %f", top.Load)
+	}
+	if !strings.Contains(top.String(), "[0,4)") {
+		t.Errorf("String() = %q", top.String())
+	}
+}
+
+func TestDiagnoseOrdering(t *testing.T) {
+	js := []jobs2{
+		{"a", 0, 2}, {"b", 0, 2}, // load 1.0
+		{"c", 8, 16}, // load 0.125
+	}
+	out := Diagnose(toJobs(js), 1, 10)
+	for i := 1; i < len(out); i++ {
+		if out[i].Load > out[i-1].Load {
+			t.Fatalf("not sorted by load: %v", out)
+		}
+	}
+	if out[0].Load != 1.0 {
+		t.Errorf("top load = %f", out[0].Load)
+	}
+}
+
+func TestDiagnoseEdgeCases(t *testing.T) {
+	if Diagnose(nil, 1, 5) != nil {
+		t.Error("nil set produced intervals")
+	}
+	if Diagnose(toJobs([]jobs2{{"a", 0, 4}}), 1, 0) != nil {
+		t.Error("top=0 produced intervals")
+	}
+	out := Diagnose(toJobs([]jobs2{{"a", 0, 4}}), 1, 10)
+	if len(out) != 1 {
+		t.Errorf("singleton: %v", out)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	js := toJobs([]jobs2{{"a", 0, 8}, {"b", 0, 8}})
+	p := Profile(js, 1)
+	if !p.Feasible {
+		t.Error("feasible set profiled infeasible")
+	}
+	if p.Gamma != 4 {
+		t.Errorf("gamma = %d, want 4", p.Gamma)
+	}
+	if p.Bottleneck.Jobs != 2 || p.Bottleneck.End-p.Bottleneck.Start != 8 {
+		t.Errorf("bottleneck = %v", p.Bottleneck)
+	}
+
+	// Infeasible set.
+	bad := toJobs([]jobs2{{"a", 0, 1}, {"b", 0, 1}})
+	pb := Profile(bad, 1)
+	if pb.Feasible || pb.Gamma != 0 {
+		t.Errorf("infeasible profile = %+v", pb)
+	}
+}
+
+// helpers
+
+type jobs2 struct {
+	name       string
+	start, end int64
+}
+
+func toJobs(in []jobs2) []jobs.Job {
+	out := make([]jobs.Job, len(in))
+	for i, j := range in {
+		out[i] = job(j.name, j.start, j.end)
+	}
+	return out
+}

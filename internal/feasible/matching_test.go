@@ -1,0 +1,77 @@
+package feasible
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jobs"
+)
+
+func TestMatchingFeasibleBasic(t *testing.T) {
+	js := [][]jobs.Job{
+		{job("a", 0, 2), job("b", 0, 2)},                 // feasible on 1
+		{job("a", 0, 1), job("b", 0, 1)},                 // infeasible on 1
+		{job("a", 0, 1), job("b", 0, 1), job("c", 0, 1)}, // feasible on 3
+	}
+	if !MatchingFeasible(js[0], 1) {
+		t.Error("case 0 should be feasible")
+	}
+	if MatchingFeasible(js[1], 1) {
+		t.Error("case 1 should be infeasible")
+	}
+	if !MatchingFeasible(js[2], 3) {
+		t.Error("case 2 should be feasible on 3 machines")
+	}
+	if !MatchingFeasible(nil, 1) {
+		t.Error("empty set infeasible")
+	}
+}
+
+// The central differential property: the matching oracle and EDF must
+// agree on every instance.
+func TestMatchingAgreesWithEDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		m := 1 + rng.Intn(3)
+		js := make([]jobs.Job, 0, n)
+		for i := 0; i < n; i++ {
+			s := int64(rng.Intn(25))
+			e := s + 1 + int64(rng.Intn(12))
+			js = append(js, job(name(i), s, e))
+		}
+		return MatchingFeasible(js, m) == IsFeasible(js, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tight instances right at the boundary.
+func TestMatchingTightBoundary(t *testing.T) {
+	// Exactly full: n jobs, n slots.
+	var js []jobs.Job
+	for i := 0; i < 12; i++ {
+		js = append(js, job(name(i), 0, 12))
+	}
+	if !MatchingFeasible(js, 1) {
+		t.Error("exact fill rejected")
+	}
+	js = append(js, job("extra", 0, 12))
+	if MatchingFeasible(js, 1) {
+		t.Error("overfull accepted")
+	}
+}
+
+// Sparse far-apart windows exercise the slot compression.
+func TestMatchingSparse(t *testing.T) {
+	js := []jobs.Job{
+		job("a", 0, 2),
+		job("b", 1_000_000, 1_000_001),
+		job("c", 1<<40, (1<<40)+4),
+	}
+	if !MatchingFeasible(js, 1) {
+		t.Error("sparse set rejected")
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the raw per-request cost series as CSV with columns
+// request,reallocations,migrations,active_jobs — the format consumed by
+// external plotting tools.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"request", "reallocations", "migrations", "active_jobs"}); err != nil {
+		return err
+	}
+	for i, c := range r.costs {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(c.Reallocations),
+			strconv.Itoa(c.Migrations),
+			strconv.Itoa(r.active[i]),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Merge appends another recorder's series to r (useful when an
+// experiment runs in phases).
+func (r *Recorder) Merge(o *Recorder) {
+	r.costs = append(r.costs, o.costs...)
+	r.active = append(r.active, o.active...)
+}
+
+// ReallocationSeries returns the per-request reallocation counts
+// (a copy, safe to mutate), the series the sparkline renderer consumes.
+func (r *Recorder) ReallocationSeries() []int {
+	out := make([]int, len(r.costs))
+	for i, c := range r.costs {
+		out[i] = c.Reallocations
+	}
+	return out
+}
+
+// CompareSummaries renders a two-summary comparison line, used by
+// experiments that contrast schedulers on identical workloads.
+func CompareSummaries(labelA string, a Summary, labelB string, b Summary) string {
+	ratio := "inf"
+	if b.MeanReallocations > 0 {
+		ratio = fmt.Sprintf("%.1fx", a.MeanReallocations/b.MeanReallocations)
+	}
+	return fmt.Sprintf("%s mean=%.2f max=%d | %s mean=%.2f max=%d | mean ratio %s",
+		labelA, a.MeanReallocations, a.MaxReallocations,
+		labelB, b.MeanReallocations, b.MaxReallocations, ratio)
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cost{Reallocations: 2, Migrations: 1}, 5)
+	r.Record(Cost{Reallocations: 0, Migrations: 0}, 4)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "request,reallocations,migrations,active_jobs\n0,2,1,5\n1,0,0,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q", buf.String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record(Cost{Reallocations: 1}, 1)
+	b.Record(Cost{Reallocations: 2}, 2)
+	b.Record(Cost{Reallocations: 3}, 3)
+	a.Merge(b)
+	if a.Len() != 3 {
+		t.Fatalf("merged len %d", a.Len())
+	}
+	if a.Summary().TotalReallocations != 6 {
+		t.Errorf("total %d", a.Summary().TotalReallocations)
+	}
+}
+
+func TestReallocationSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cost{Reallocations: 4}, 1)
+	r.Record(Cost{Reallocations: 7}, 2)
+	s := r.ReallocationSeries()
+	if len(s) != 2 || s[0] != 4 || s[1] != 7 {
+		t.Errorf("series %v", s)
+	}
+	s[0] = 99 // must not alias internal state
+	if r.Costs()[0].Reallocations != 4 {
+		t.Error("series aliases recorder")
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	a := Summary{MeanReallocations: 10, MaxReallocations: 50}
+	b := Summary{MeanReallocations: 2, MaxReallocations: 3}
+	out := CompareSummaries("edf", a, "core", b)
+	for _, want := range []string{"edf", "core", "5.0x", "max=50", "max=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison %q missing %q", out, want)
+		}
+	}
+	zero := CompareSummaries("a", a, "b", Summary{})
+	if !strings.Contains(zero, "inf") {
+		t.Errorf("zero-mean comparison %q", zero)
+	}
+}

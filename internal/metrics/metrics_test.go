@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cost{Reallocations: 1, Migrations: 0}, 1)
+	r.Record(Cost{Reallocations: 3, Migrations: 1}, 2)
+	r.Record(Cost{Reallocations: 2, Migrations: 0}, 3)
+	r.Record(Cost{Reallocations: 0, Migrations: 0}, 2)
+
+	s := r.Summary()
+	if s.Requests != 4 {
+		t.Errorf("Requests = %d", s.Requests)
+	}
+	if s.TotalReallocations != 6 || s.TotalMigrations != 1 {
+		t.Errorf("totals = %d/%d", s.TotalReallocations, s.TotalMigrations)
+	}
+	if s.MaxReallocations != 3 || s.MaxMigrations != 1 {
+		t.Errorf("maxima = %d/%d", s.MaxReallocations, s.MaxMigrations)
+	}
+	if s.MeanReallocations != 1.5 {
+		t.Errorf("mean = %f", s.MeanReallocations)
+	}
+	if s.P50Reallocations != 1 { // sorted [0 1 2 3], rank ceil(0.5*4)=2 -> 1
+		t.Errorf("p50 = %d", s.P50Reallocations)
+	}
+	if s.P99Reallocations != 3 {
+		t.Errorf("p99 = %d", s.P99Reallocations)
+	}
+	if !strings.Contains(s.String(), "reqs=4") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRecorder().Summary()
+	if s.Requests != 0 || s.TotalReallocations != 0 || s.MaxReallocations != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{Reallocations: 1, Migrations: 2}
+	c.Add(Cost{Reallocations: 3, Migrations: 4})
+	if c.Reallocations != 4 || c.Migrations != 6 {
+		t.Errorf("Add result %+v", c)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []int{0, 1, 1, 2, 5, 9} {
+		r.Record(Cost{Reallocations: v}, 1)
+	}
+	h := r.HistogramOf(4) // buckets 0,1,2,>=3
+	want := []int{1, 2, 1, 2}
+	for i := range want {
+		if h.Buckets[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h.Buckets, want)
+		}
+	}
+	if got := h.String(); got != "0:1 1:2 2:1 >=3:2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestHistogramMinBuckets(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cost{Reallocations: 7}, 1)
+	h := r.HistogramOf(1)
+	if len(h.Buckets) != 2 || h.Buckets[1] != 1 {
+		t.Errorf("min-bucket histogram = %v", h.Buckets)
+	}
+}
+
+func TestWindowedMax(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []int{1, 5, 2, 0, 0, 3, 7} {
+		r.Record(Cost{Reallocations: v}, 1)
+	}
+	got := r.WindowedMax(3)
+	want := []int{5, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("WindowedMax = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WindowedMax = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowedMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for chunk 0")
+		}
+	}()
+	NewRecorder().WindowedMax(0)
+}
+
+func TestCostVsActive(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Cost{Reallocations: 2}, 1)   // bucket 1
+	r.Record(Cost{Reallocations: 4}, 3)   // bucket 2
+	r.Record(Cost{Reallocations: 1}, 3)   // bucket 2 (max stays 4)
+	r.Record(Cost{Reallocations: 9}, 100) // bucket 64
+	m := r.CostVsActive()
+	if m[1] != 2 || m[2] != 4 || m[64] != 9 {
+		t.Errorf("CostVsActive = %v", m)
+	}
+}
+
+func TestPercentileEdge(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	if percentile([]int{42}, 0.0) != 42 {
+		t.Error("rank clamp low broken")
+	}
+	if percentile([]int{1, 2}, 1.0) != 2 {
+		t.Error("rank clamp high broken")
+	}
+}

@@ -1,0 +1,19 @@
+package mixed_test
+
+import (
+	"fmt"
+
+	"repro/internal/mixed"
+)
+
+// Observation 13 measured: sliding a size-k job across k unit jobs costs
+// at least k reallocations per sweep, for any scheduler.
+func ExampleRunObservation13() {
+	res, err := mixed.RunObservation13(16, 2, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("k=%d: every sweep cost >= k: %v\n", res.K, res.MinSweepCost >= int(res.K))
+	// Output:
+	// k=16: every sweep cost >= k: true
+}

@@ -1,0 +1,31 @@
+package multi_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/multi"
+	"repro/internal/sched"
+)
+
+// Round-robin delegation balances same-window jobs across machines
+// (Section 3): 6 jobs on 3 machines land 2 per machine.
+func ExampleNew() {
+	s := multi.New(3, func() sched.Scheduler { return core.New() })
+	for i := 0; i < 6; i++ {
+		if _, err := s.Insert(jobs.Job{
+			Name:   fmt.Sprintf("j%d", i),
+			Window: jobs.Window{Start: 0, End: 64},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	per := make([]int, 3)
+	for _, p := range s.Assignment() {
+		per[p.Machine]++
+	}
+	fmt.Println(per)
+	// Output:
+	// [2 2 2]
+}

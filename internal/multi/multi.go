@@ -1,0 +1,253 @@
+// Package multi implements the paper's Section 3 reduction from
+// m-machine to single-machine reallocation scheduling for recursively
+// aligned jobs.
+//
+// For every window W the wrapper records the number n_W of active jobs
+// with exactly that window and delegates jobs round-robin: the job that
+// arrives when the count is n_W goes to machine n_W mod m, so every
+// machine holds either floor(n_W/m) or ceil(n_W/m) jobs of window W,
+// with the extras on the earliest machines. When a job with window W is
+// deleted from machine i, one W-job is taken from the machine holding
+// the most recently delegated extra (machine (n_W - 1) mod m) and
+// migrated to machine i, restoring the invariant with at most one
+// migration per request (Theorem 1's migration bound).
+//
+// Lemma 3 guarantees that when the overall instance is 6γ-underallocated,
+// each per-machine instance is γ-underallocated, so the single-machine
+// schedulers keep working.
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Factory builds one fresh single-machine scheduler per machine.
+type Factory func() sched.Scheduler
+
+type winKey struct {
+	start jobs.Time
+	span  int64
+}
+
+func (k winKey) window() jobs.Window { return jobs.Window{Start: k.start, End: k.start + k.span} }
+
+// Scheduler delegates aligned jobs round-robin across m single-machine
+// schedulers.
+type Scheduler struct {
+	machines []sched.Scheduler
+	counts   map[winKey]int         // n_W
+	byJob    map[string]int         // job -> machine index
+	windows  map[string]winKey      // job -> window key
+	perWin   map[winKey][]stringSet // per machine: names of W-jobs
+}
+
+type stringSet map[string]struct{}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New builds an m-machine wrapper.
+func New(m int, factory Factory) *Scheduler {
+	if m < 1 {
+		panic(fmt.Sprintf("multi: %d machines", m))
+	}
+	s := &Scheduler{
+		machines: make([]sched.Scheduler, m),
+		counts:   make(map[winKey]int),
+		byJob:    make(map[string]int),
+		windows:  make(map[string]winKey),
+		perWin:   make(map[winKey][]stringSet),
+	}
+	for i := range s.machines {
+		s.machines[i] = factory()
+	}
+	return s
+}
+
+// Machines returns m.
+func (s *Scheduler) Machines() int { return len(s.machines) }
+
+// Active returns the number of active jobs.
+func (s *Scheduler) Active() int { return len(s.byJob) }
+
+// Jobs returns a snapshot of the active job set.
+func (s *Scheduler) Jobs() []jobs.Job {
+	out := make([]jobs.Job, 0, len(s.byJob))
+	for name, key := range s.windows {
+		out = append(out, jobs.Job{Name: name, Window: key.window()})
+	}
+	return out
+}
+
+// Assignment merges the per-machine assignments, tagging each placement
+// with its machine index.
+func (s *Scheduler) Assignment() jobs.Assignment {
+	out := make(jobs.Assignment, len(s.byJob))
+	for i, m := range s.machines {
+		for name, p := range m.Assignment() {
+			out[name] = jobs.Placement{Machine: i, Slot: p.Slot}
+		}
+	}
+	return out
+}
+
+// Insert delegates the job to machine (n_W mod m).
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	if err := j.Validate(); err != nil {
+		return metrics.Cost{}, err
+	}
+	if !j.Window.IsAligned() {
+		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
+	}
+	if _, dup := s.byJob[j.Name]; dup {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
+	}
+	key := winKey{start: j.Window.Start, span: j.Window.Span()}
+	idx := s.counts[key] % len(s.machines)
+	cost, err := s.machines[idx].Insert(j)
+	if err != nil {
+		return cost, err
+	}
+	s.counts[key]++
+	s.byJob[j.Name] = idx
+	s.windows[j.Name] = key
+	s.ensurePerWin(key)[idx][j.Name] = struct{}{}
+	return cost, nil
+}
+
+// Delete removes a job; if the round-robin balance breaks, one W-job
+// migrates from the machine holding the newest extra to the machine that
+// lost a job (at most one migration).
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	idx, ok := s.byJob[name]
+	if !ok {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+	}
+	key := s.windows[name]
+	cost, err := s.machines[idx].Delete(name)
+	if err != nil {
+		return cost, err
+	}
+	s.counts[key]--
+	s.forget(name, key, idx)
+
+	last := s.counts[key] % len(s.machines)
+	if last == idx || s.counts[key] == 0 {
+		return cost, nil
+	}
+	// Migrate one W-job from machine `last` to machine `idx`.
+	mover, ok := s.anyJobOn(key, last)
+	if !ok {
+		return cost, fmt.Errorf("multi: balance invariant broken: no %v job on machine %d", key.window(), last)
+	}
+	dc, err := s.machines[last].Delete(mover)
+	if err != nil {
+		return cost, fmt.Errorf("multi: migration delete of %q failed: %w", mover, err)
+	}
+	cost.Add(dc)
+	ic, err := s.machines[idx].Insert(jobs.Job{Name: mover, Window: key.window()})
+	if err != nil {
+		return cost, fmt.Errorf("multi: migration insert of %q failed: %w", mover, err)
+	}
+	cost.Add(ic)
+	cost.Migrations++ // the mover crossed machines
+	s.forget(mover, key, last)
+	s.byJob[mover] = idx
+	s.windows[mover] = key
+	s.ensurePerWin(key)[idx][mover] = struct{}{}
+	return cost, nil
+}
+
+func (s *Scheduler) ensurePerWin(key winKey) []stringSet {
+	sets := s.perWin[key]
+	if sets == nil {
+		sets = make([]stringSet, len(s.machines))
+		for i := range sets {
+			sets[i] = make(stringSet)
+		}
+		s.perWin[key] = sets
+	}
+	return sets
+}
+
+func (s *Scheduler) forget(name string, key winKey, idx int) {
+	delete(s.byJob, name)
+	delete(s.windows, name)
+	if sets := s.perWin[key]; sets != nil {
+		delete(sets[idx], name)
+	}
+}
+
+// anyJobOn returns a deterministic W-job on the given machine.
+func (s *Scheduler) anyJobOn(key winKey, idx int) (string, bool) {
+	sets := s.perWin[key]
+	if sets == nil || len(sets[idx]) == 0 {
+		return "", false
+	}
+	names := make([]string, 0, len(sets[idx]))
+	for n := range sets[idx] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names[0], true
+}
+
+// SelfCheck validates the round-robin balance invariant and the inner
+// schedulers.
+func (s *Scheduler) SelfCheck() error {
+	for i, m := range s.machines {
+		if err := m.SelfCheck(); err != nil {
+			return fmt.Errorf("multi: machine %d: %w", i, err)
+		}
+	}
+	// Recount jobs per window per machine.
+	recount := make(map[winKey][]int)
+	for name, idx := range s.byJob {
+		key := s.windows[name]
+		if recount[key] == nil {
+			recount[key] = make([]int, len(s.machines))
+		}
+		recount[key][idx]++
+	}
+	for key, per := range recount {
+		total := 0
+		for _, c := range per {
+			total += c
+		}
+		if total != s.counts[key] {
+			return fmt.Errorf("multi: window %v count %d, tracked %d", key.window(), total, s.counts[key])
+		}
+		lo, hi := total/len(s.machines), (total+len(s.machines)-1)/len(s.machines)
+		extras := total % len(s.machines)
+		for i, c := range per {
+			if c < lo || c > hi {
+				return fmt.Errorf("multi: window %v machine %d holds %d jobs, want %d..%d",
+					key.window(), i, c, lo, hi)
+			}
+			// Extras must sit on the earliest machines.
+			if extras > 0 {
+				want := lo
+				if i < extras {
+					want = hi
+				}
+				if c != want {
+					return fmt.Errorf("multi: window %v machine %d holds %d jobs, round-robin wants %d",
+						key.window(), i, c, want)
+				}
+			}
+		}
+	}
+	// Inner schedulers must agree with our routing.
+	for i, m := range s.machines {
+		for name := range m.Assignment() {
+			if s.byJob[name] != i {
+				return fmt.Errorf("multi: job %q on machine %d, routed to %d", name, i, s.byJob[name])
+			}
+		}
+	}
+	return nil
+}

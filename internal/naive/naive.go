@@ -1,0 +1,222 @@
+// Package naive implements the paper's naive pecking-order reallocating
+// scheduler (Lemma 4) for recursively aligned unit jobs on one machine.
+//
+// To insert a job j with span 2^i: place it in any empty slot of its
+// window; otherwise displace any job k scheduled inside j's window whose
+// span is at least 2^{i+1} (such a k must exist in any feasible instance,
+// and alignment guarantees W_j ⊆ W_k), then recursively reinsert k.
+// Cascades visit strictly increasing spans, so each insert reallocates
+// O(min{log n, log Δ}) jobs.
+//
+// The implementation keeps the occupied slots in a sorted slice so that
+// free-slot and victim searches cost O(log n + window occupancy) rather
+// than O(window span); spans up to 2^62 are handled without scanning.
+package naive
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+type activeJob struct {
+	name   string
+	window jobs.Window
+	slot   jobs.Time
+}
+
+// Scheduler is the Lemma 4 scheduler. The zero value is not usable; call
+// New.
+type Scheduler struct {
+	jobs     map[string]*activeJob
+	bySlot   map[jobs.Time]*activeJob
+	occupied []jobs.Time // sorted slot coordinates
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns an empty single-machine naive pecking-order scheduler.
+func New() *Scheduler {
+	return &Scheduler{
+		jobs:   make(map[string]*activeJob),
+		bySlot: make(map[jobs.Time]*activeJob),
+	}
+}
+
+// Machines returns 1: this is a single-machine scheduler.
+func (s *Scheduler) Machines() int { return 1 }
+
+// Active returns the number of active jobs.
+func (s *Scheduler) Active() int { return len(s.jobs) }
+
+// Jobs returns a snapshot of the active job set.
+func (s *Scheduler) Jobs() []jobs.Job {
+	out := make([]jobs.Job, 0, len(s.jobs))
+	for _, a := range s.jobs {
+		out = append(out, jobs.Job{Name: a.name, Window: a.window})
+	}
+	return out
+}
+
+// Assignment returns a snapshot of the schedule (machine always 0).
+func (s *Scheduler) Assignment() jobs.Assignment {
+	out := make(jobs.Assignment, len(s.jobs))
+	for _, a := range s.jobs {
+		out[a.name] = jobs.Placement{Machine: 0, Slot: a.slot}
+	}
+	return out
+}
+
+// Insert adds an aligned job, cascading displacements through strictly
+// increasing spans as needed (Lemma 4).
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	if err := j.Validate(); err != nil {
+		return metrics.Cost{}, err
+	}
+	if !j.Window.IsAligned() {
+		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
+	}
+	if _, dup := s.jobs[j.Name]; dup {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
+	}
+
+	var cost metrics.Cost
+	cur := &activeJob{name: j.Name, window: j.Window}
+	s.jobs[j.Name] = cur
+	// moves logs each displacement so a mid-cascade infeasibility can be
+	// rolled back, leaving the schedule exactly as before the request.
+	type move struct {
+		placed *activeJob
+		slot   jobs.Time
+		victim *activeJob
+	}
+	var moves []move
+	for {
+		// Look for the lowest empty slot in cur's window.
+		if slot, ok := s.freeSlot(cur.window); ok {
+			s.place(cur, slot)
+			cost.Reallocations++
+			return cost, nil
+		}
+		// Window fully occupied: displace an occupant with longer span.
+		victim := s.victim(cur.window)
+		if victim == nil {
+			// Every slot holds a job with span <= span(cur): all those
+			// windows nest inside cur's window, so the instance is
+			// infeasible. Roll the cascade back to keep state clean.
+			for i := len(moves) - 1; i >= 0; i-- {
+				mv := moves[i]
+				s.unplace(mv.placed)
+				s.place(mv.victim, mv.slot)
+			}
+			delete(s.jobs, j.Name)
+			return metrics.Cost{}, &sched.InfeasibleError{
+				Req:    jobs.Request{Kind: jobs.Insert, Name: j.Name, Window: j.Window},
+				Detail: fmt.Sprintf("window %v fully occupied by equal-or-shorter spans", cur.window),
+			}
+		}
+		slot := victim.slot
+		s.unplace(victim)
+		s.place(cur, slot)
+		moves = append(moves, move{placed: cur, slot: slot, victim: victim})
+		cost.Reallocations++
+		cur = victim // reinsert the displaced job at its longer span
+	}
+}
+
+// Delete removes an active job. Deletions never reallocate other jobs.
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	a, ok := s.jobs[name]
+	if !ok {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+	}
+	s.unplace(a)
+	delete(s.jobs, name)
+	return metrics.Cost{}, nil
+}
+
+// freeSlot returns the lowest unoccupied slot in w, if any.
+func (s *Scheduler) freeSlot(w jobs.Window) (jobs.Time, bool) {
+	i := sort.Search(len(s.occupied), func(k int) bool { return s.occupied[k] >= w.Start })
+	expect := w.Start
+	for ; i < len(s.occupied) && s.occupied[i] < w.End; i++ {
+		if s.occupied[i] != expect {
+			return expect, true // gap before this occupied slot
+		}
+		expect++
+	}
+	if expect < w.End {
+		return expect, true
+	}
+	return 0, false
+}
+
+// victim returns the occupant of w (lowest slot first) whose span is
+// strictly larger than w's span, or nil if none exists.
+func (s *Scheduler) victim(w jobs.Window) *activeJob {
+	i := sort.Search(len(s.occupied), func(k int) bool { return s.occupied[k] >= w.Start })
+	for ; i < len(s.occupied) && s.occupied[i] < w.End; i++ {
+		a := s.bySlot[s.occupied[i]]
+		if a.window.Span() > w.Span() {
+			return a
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) place(a *activeJob, slot jobs.Time) {
+	if _, taken := s.bySlot[slot]; taken {
+		panic(fmt.Sprintf("naive: slot %d already occupied", slot))
+	}
+	a.slot = slot
+	s.bySlot[slot] = a
+	i := sort.Search(len(s.occupied), func(k int) bool { return s.occupied[k] >= slot })
+	s.occupied = append(s.occupied, 0)
+	copy(s.occupied[i+1:], s.occupied[i:])
+	s.occupied[i] = slot
+}
+
+func (s *Scheduler) unplace(a *activeJob) {
+	delete(s.bySlot, a.slot)
+	i := sort.Search(len(s.occupied), func(k int) bool { return s.occupied[k] >= a.slot })
+	if i >= len(s.occupied) || s.occupied[i] != a.slot {
+		panic(fmt.Sprintf("naive: slot %d missing from occupied index", a.slot))
+	}
+	s.occupied = append(s.occupied[:i], s.occupied[i+1:]...)
+}
+
+// SelfCheck validates all internal invariants.
+func (s *Scheduler) SelfCheck() error {
+	if len(s.jobs) != len(s.bySlot) || len(s.jobs) != len(s.occupied) {
+		return fmt.Errorf("naive: size mismatch jobs=%d bySlot=%d occupied=%d",
+			len(s.jobs), len(s.bySlot), len(s.occupied))
+	}
+	for name, a := range s.jobs {
+		if a.name != name {
+			return fmt.Errorf("naive: job %q indexed under %q", a.name, name)
+		}
+		if !a.window.Contains(a.slot) {
+			return fmt.Errorf("naive: job %q at slot %d outside window %v", name, a.slot, a.window)
+		}
+		if s.bySlot[a.slot] != a {
+			return fmt.Errorf("naive: slot index for %d does not point at job %q", a.slot, name)
+		}
+		if !a.window.IsAligned() {
+			return fmt.Errorf("naive: job %q window %v misaligned", name, a.window)
+		}
+	}
+	for i := 1; i < len(s.occupied); i++ {
+		if s.occupied[i-1] >= s.occupied[i] {
+			return fmt.Errorf("naive: occupied index unsorted at %d", i)
+		}
+	}
+	for _, t := range s.occupied {
+		if _, ok := s.bySlot[t]; !ok {
+			return fmt.Errorf("naive: occupied slot %d missing from bySlot", t)
+		}
+	}
+	return nil
+}

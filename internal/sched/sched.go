@@ -1,0 +1,113 @@
+// Package sched defines the interfaces and shared errors implemented by
+// every reallocating scheduler in this repository (the paper's Section 2
+// model): the naive pecking-order scheduler, the reservation-based
+// scheduler, the EDF/LLF baselines, and the multi-machine and alignment
+// wrappers.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+)
+
+// ErrDuplicateJob is returned when inserting a job whose name is already
+// active.
+var ErrDuplicateJob = errors.New("sched: job already active")
+
+// ErrUnknownJob is returned when deleting a job that is not active.
+var ErrUnknownJob = errors.New("sched: unknown job")
+
+// ErrInfeasible is returned when the scheduler cannot place a job — for
+// the greedy schedulers this means the instance is not feasible (or, for
+// the reservation scheduler, not sufficiently underallocated).
+var ErrInfeasible = errors.New("sched: no feasible placement (instance not sufficiently underallocated)")
+
+// ErrMisaligned is returned by aligned-only schedulers when a window is
+// not aligned.
+var ErrMisaligned = errors.New("sched: window is not aligned")
+
+// InfeasibleError wraps ErrInfeasible with context about the request that
+// failed.
+type InfeasibleError struct {
+	Req    jobs.Request
+	Detail string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("%v: %s (%s)", ErrInfeasible, e.Req, e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrInfeasible) succeed.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// Scheduler is a reallocating scheduler: it maintains a feasible schedule
+// for the active jobs across a sequence of insert/delete requests and
+// reports the cost of each request.
+type Scheduler interface {
+	// Insert adds a job and returns the cost of the reallocation that
+	// serviced the request.
+	Insert(j jobs.Job) (metrics.Cost, error)
+	// Delete removes an active job by name and returns the cost.
+	Delete(name string) (metrics.Cost, error)
+	// Assignment returns a snapshot of the current schedule.
+	Assignment() jobs.Assignment
+	// Active returns the number of active jobs.
+	Active() int
+	// Jobs returns a snapshot of the active job set.
+	Jobs() []jobs.Job
+	// Machines returns the number of machines the scheduler manages.
+	Machines() int
+	// SelfCheck revalidates every internal invariant, returning the
+	// first violation. Intended for tests; may be slow.
+	SelfCheck() error
+}
+
+// Apply routes one request to the scheduler.
+func Apply(s Scheduler, r jobs.Request) (metrics.Cost, error) {
+	switch r.Kind {
+	case jobs.Insert:
+		return s.Insert(jobs.Job{Name: r.Name, Window: r.Window})
+	case jobs.Delete:
+		return s.Delete(r.Name)
+	default:
+		return metrics.Cost{}, fmt.Errorf("sched: unknown request kind %d", r.Kind)
+	}
+}
+
+// Run feeds a whole request sequence to the scheduler, recording costs.
+// It stops at the first error, returning the index of the failing request
+// alongside the error. The recorder always reflects the successfully
+// served prefix.
+func Run(s Scheduler, reqs []jobs.Request, rec *metrics.Recorder) (int, error) {
+	for i, r := range reqs {
+		c, err := Apply(s, r)
+		if err != nil {
+			return i, fmt.Errorf("request %d (%s): %w", i, r, err)
+		}
+		if rec != nil {
+			rec.Record(c, s.Active())
+		}
+	}
+	return len(reqs), nil
+}
+
+// RunChecked is Run with a SelfCheck after every request; it is the
+// workhorse of the test suites.
+func RunChecked(s Scheduler, reqs []jobs.Request, rec *metrics.Recorder) (int, error) {
+	for i, r := range reqs {
+		c, err := Apply(s, r)
+		if err != nil {
+			return i, fmt.Errorf("request %d (%s): %w", i, r, err)
+		}
+		if rec != nil {
+			rec.Record(c, s.Active())
+		}
+		if err := s.SelfCheck(); err != nil {
+			return i, fmt.Errorf("invariant violation after request %d (%s): %w", i, r, err)
+		}
+	}
+	return len(reqs), nil
+}

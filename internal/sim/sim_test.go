@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("%d experiments registered, want 15", len(all))
+	}
+	seen := map[string]bool{}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("E3 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce a
+// non-empty table.
+func TestRunAllQuick(t *testing.T) {
+	tables, err := RunAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 15 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+		if len(tab.Header) == 0 {
+			t.Errorf("%s has no header", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s row width %d != header width %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+	}
+}
+
+// Spot-check experiment shapes in quick mode.
+
+func TestE3ShowsBrittlenessGap(t *testing.T) {
+	e, _ := ByID("E3")
+	tab, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio column (last) must exceed 2 at the larger n.
+	last := tab.Rows[len(tab.Rows)-1]
+	ratio, err := strconv.ParseFloat(last[len(last)-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 2 {
+		t.Errorf("EDF/reservation cost ratio %.2f too small", ratio)
+	}
+}
+
+func TestE7MigrationBound(t *testing.T) {
+	e, _ := ByID("E7")
+	tab, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		maxMigr, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxMigr > 1 {
+			t.Errorf("m=%s: max migrations per request %d > 1", row[0], maxMigr)
+		}
+	}
+}
+
+func TestE9GammaSweepShape(t *testing.T) {
+	e, _ := ByID("E9")
+	tab, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At gamma = 8 and 16 every run must complete.
+	for _, row := range tab.Rows {
+		if row[0] == "8" || row[0] == "16" {
+			if row[1] != row[2] {
+				t.Errorf("gamma=%s: %s/%s runs completed", row[0], row[2], row[1])
+			}
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Claim: "c", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", "w")
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T — demo", "claim: c", "a    bb", "1    2.50", "xyz  w", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"x", "y"}}
+	tab.AddRow(1, "a,b")
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"a,b\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

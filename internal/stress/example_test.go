@@ -1,0 +1,22 @@
+package stress_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stress"
+	"repro/internal/workload"
+)
+
+// A clean stress run returns nil; a failure would carry a minimized
+// reproducer via Shrink.
+func ExampleRun() {
+	failure := stress.Run(stress.Config{
+		Factory:  func() sched.Scheduler { return core.New() },
+		Workload: workload.Config{Seed: 42, Gamma: 8, Horizon: 512, Steps: 150},
+	})
+	fmt.Printf("clean run: %v\n", failure == nil)
+	// Output:
+	// clean run: true
+}

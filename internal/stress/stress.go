@@ -1,0 +1,172 @@
+// Package stress provides a randomized stress harness for reallocating
+// schedulers and a failing-sequence minimizer. When a long random run
+// trips an invariant, the minimizer shrinks the request sequence to a
+// small reproducer by repeatedly deleting insert/delete pairs that do
+// not affect the failure — the debugging workflow this repository used
+// while bringing up the reservation scheduler.
+package stress
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Factory builds a fresh scheduler under test.
+type Factory func() sched.Scheduler
+
+// Config parameterizes a stress run.
+type Config struct {
+	Factory  Factory
+	Workload workload.Config
+	// CheckEvery runs SelfCheck after every N requests (default 1).
+	CheckEvery int
+}
+
+// Failure describes a stress failure, with the (possibly minimized)
+// request sequence that reproduces it.
+type Failure struct {
+	Step int            // index of the failing request in Reqs
+	Err  error          // the scheduler error or invariant violation
+	Reqs []jobs.Request // sequence that reproduces the failure
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("stress: failure at step %d of %d: %v", f.Step, len(f.Reqs), f.Err)
+}
+
+// Run executes the configured random workload, self-checking as it goes.
+// It returns nil on a clean run, or a Failure carrying the full failing
+// prefix.
+func Run(cfg Config) *Failure {
+	if cfg.Factory == nil {
+		panic("stress: nil factory")
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 1
+	}
+	g, err := workload.NewGenerator(cfg.Workload)
+	if err != nil {
+		return &Failure{Err: err}
+	}
+	reqs := g.Sequence()
+	if step, err := replay(cfg.Factory, reqs, cfg.CheckEvery); err != nil {
+		return &Failure{Step: step, Err: err, Reqs: reqs[:step+1]}
+	}
+	return nil
+}
+
+// replay runs the sequence with periodic self-checks, returning the index
+// and error of the first failure.
+func replay(factory Factory, reqs []jobs.Request, checkEvery int) (int, error) {
+	s := factory()
+	for i, r := range reqs {
+		if _, err := sched.Apply(s, r); err != nil {
+			return i, err
+		}
+		if (i+1)%checkEvery == 0 {
+			if err := s.SelfCheck(); err != nil {
+				return i, fmt.Errorf("invariant violation: %w", err)
+			}
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		return len(reqs) - 1, fmt.Errorf("final invariant violation: %w", err)
+	}
+	return -1, nil
+}
+
+// Fails reports whether the sequence reproduces a failure under the
+// factory (any scheduler error or invariant violation, excluding
+// well-formedness errors caused by the reduction itself).
+func Fails(factory Factory, reqs []jobs.Request) bool {
+	if !wellFormed(reqs) {
+		return false
+	}
+	step, err := replay(factory, reqs, 1)
+	return err != nil && step >= 0
+}
+
+// wellFormed checks that deletes target live names and inserts do not
+// duplicate live names — reductions must preserve this or they would
+// "fail" for uninteresting reasons.
+func wellFormed(reqs []jobs.Request) bool {
+	live := make(map[string]bool)
+	for _, r := range reqs {
+		switch r.Kind {
+		case jobs.Insert:
+			if live[r.Name] {
+				return false
+			}
+			live[r.Name] = true
+		case jobs.Delete:
+			if !live[r.Name] {
+				return false
+			}
+			delete(live, r.Name)
+		}
+	}
+	return true
+}
+
+// Shrink minimizes a failing request sequence: it repeatedly removes
+// whole insert/delete lifecycles (and truncates the tail) while the
+// sequence still fails, until no single removal keeps it failing. The
+// result is a locally minimal reproducer.
+func Shrink(factory Factory, reqs []jobs.Request) []jobs.Request {
+	cur := append([]jobs.Request{}, reqs...)
+	if !Fails(factory, cur) {
+		return cur // not failing: nothing to shrink
+	}
+	// First truncate to the failing prefix.
+	if step, err := replay(factory, cur, 1); err != nil && step >= 0 {
+		cur = cur[:step+1]
+	}
+	for {
+		improved := false
+		// Try removing each job lifecycle, most recent first (later
+		// lifecycles are more likely incidental).
+		names := lifecycleNames(cur)
+		for i := len(names) - 1; i >= 0; i-- {
+			candidate := removeLifecycle(cur, names[i])
+			if len(candidate) < len(cur) && Fails(factory, candidate) {
+				cur = candidate
+				improved = true
+			}
+		}
+		// Then re-truncate to the failing prefix.
+		if step, err := replay(factory, cur, 1); err != nil && step+1 < len(cur) {
+			cur = cur[:step+1]
+			improved = true
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// lifecycleNames lists distinct job names in first-appearance order.
+func lifecycleNames(reqs []jobs.Request) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range reqs {
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// removeLifecycle drops every request mentioning the given name.
+func removeLifecycle(reqs []jobs.Request, name string) []jobs.Request {
+	out := make([]jobs.Request, 0, len(reqs))
+	for _, r := range reqs {
+		if r.Name != name {
+			out = append(out, r)
+		}
+	}
+	return out
+}

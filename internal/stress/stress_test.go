@@ -1,0 +1,140 @@
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/naive"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func coreFactory() sched.Scheduler { return core.New() }
+
+func TestCleanRun(t *testing.T) {
+	f := Run(Config{
+		Factory:  coreFactory,
+		Workload: workload.Config{Seed: 1, Gamma: 8, Horizon: 512, Steps: 200},
+	})
+	if f != nil {
+		t.Fatalf("clean workload failed: %v", f)
+	}
+}
+
+func TestCleanRunNaive(t *testing.T) {
+	f := Run(Config{
+		Factory:    func() sched.Scheduler { return naive.New() },
+		Workload:   workload.Config{Seed: 2, Gamma: 8, Horizon: 512, Steps: 200},
+		CheckEvery: 5,
+	})
+	if f != nil {
+		t.Fatalf("clean workload failed: %v", f)
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	good := []jobs.Request{
+		jobs.InsertReq("a", 0, 4), jobs.DeleteReq("a"), jobs.InsertReq("a", 0, 4),
+	}
+	if !wellFormed(good) {
+		t.Error("good sequence rejected")
+	}
+	if wellFormed([]jobs.Request{jobs.DeleteReq("x")}) {
+		t.Error("delete of unknown accepted")
+	}
+	if wellFormed([]jobs.Request{jobs.InsertReq("a", 0, 4), jobs.InsertReq("a", 0, 4)}) {
+		t.Error("duplicate insert accepted")
+	}
+}
+
+// brokenScheduler fails when a configurable number of jobs with span 1
+// are simultaneously active — a stand-in for a subtle invariant bug.
+type brokenScheduler struct {
+	*naive.Scheduler
+	span1 int
+}
+
+func newBroken() *brokenScheduler { return &brokenScheduler{Scheduler: naive.New()} }
+
+func (b *brokenScheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	c, err := b.Scheduler.Insert(j)
+	if err == nil && j.Window.Span() == 1 {
+		b.span1++
+		if b.span1 >= 3 {
+			return c, errors.New("synthetic bug: three span-1 jobs")
+		}
+	}
+	return c, err
+}
+
+func (b *brokenScheduler) Delete(name string) (metrics.Cost, error) {
+	// Track span-1 deletions via the job list before deleting.
+	for _, j := range b.Scheduler.Jobs() {
+		if j.Name == name && j.Window.Span() == 1 {
+			b.span1--
+		}
+	}
+	return b.Scheduler.Delete(name)
+}
+
+func TestShrinkFindsMinimalReproducer(t *testing.T) {
+	factory := func() sched.Scheduler { return newBroken() }
+
+	// A long sequence with lots of irrelevant jobs and three span-1
+	// inserts buried inside.
+	var reqs []jobs.Request
+	for i := 0; i < 40; i++ {
+		span := int64(4)
+		start := int64(i%8) * 4
+		reqs = append(reqs, jobs.InsertReq(fmt.Sprintf("noise%02d", i), start, start+span))
+		if i%3 == 0 {
+			reqs = append(reqs, jobs.DeleteReq(fmt.Sprintf("noise%02d", i)))
+		}
+		if i == 10 || i == 20 || i == 30 {
+			reqs = append(reqs, jobs.InsertReq(fmt.Sprintf("tiny%02d", i), int64(i), int64(i)+1))
+		}
+	}
+	if !Fails(factory, reqs) {
+		t.Fatal("synthetic bug not triggered by the full sequence")
+	}
+	small := Shrink(factory, reqs)
+	if !Fails(factory, small) {
+		t.Fatal("shrunk sequence no longer fails")
+	}
+	// Minimal reproducer: exactly the three span-1 inserts.
+	if len(small) != 3 {
+		t.Errorf("shrunk to %d requests, want 3: %v", len(small), small)
+	}
+	for _, r := range small {
+		if r.Kind != jobs.Insert || r.Window.Span() != 1 {
+			t.Errorf("non-essential request survived shrinking: %v", r)
+		}
+	}
+}
+
+func TestShrinkOnPassingSequence(t *testing.T) {
+	reqs := []jobs.Request{jobs.InsertReq("a", 0, 4)}
+	out := Shrink(coreFactory, reqs)
+	if len(out) != 1 {
+		t.Errorf("passing sequence altered: %v", out)
+	}
+}
+
+func TestFailsRejectsMalformed(t *testing.T) {
+	if Fails(coreFactory, []jobs.Request{jobs.DeleteReq("ghost")}) {
+		t.Error("malformed sequence reported as interesting failure")
+	}
+}
+
+func TestRunPanicsWithoutFactory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory accepted")
+		}
+	}()
+	Run(Config{})
+}

@@ -1,0 +1,34 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/trace"
+)
+
+// Record writes an annotated JSONL trace; Replay verifies a fresh
+// scheduler reproduces exactly the recorded costs.
+func ExampleRecord() {
+	reqs := []jobs.Request{
+		jobs.InsertReq("a", 0, 64),
+		jobs.InsertReq("b", 0, 64),
+		jobs.DeleteReq("a"),
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Record(core.New(), reqs, &buf); err != nil {
+		panic(err)
+	}
+	events, err := trace.ReadEvents(&buf)
+	if err != nil {
+		panic(err)
+	}
+	if err := trace.Replay(core.New(), events); err != nil {
+		panic(err)
+	}
+	fmt.Printf("replayed %d events, costs matched\n", len(events))
+	// Output:
+	// replayed 3 events, costs matched
+}

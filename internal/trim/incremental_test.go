@@ -1,0 +1,246 @@
+package trim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func incFactory() sched.Scheduler { return core.New(core.WithMaxIntervals(1 << 24)) }
+
+func TestVirtualWindow(t *testing.T) {
+	cases := []struct {
+		w      jobs.Window
+		parity int64
+		want   jobs.Window
+		err    bool
+	}{
+		{win(0, 8), 0, win(0, 4), false},    // even slots 0,2,4,6 -> v 0..3
+		{win(0, 8), 1, win(0, 4), false},    // odd slots 1,3,5,7 -> v 0..3
+		{win(3, 9), 0, win(2, 5), false},    // even slots 4,6,8 -> v 2..4
+		{win(3, 9), 1, win(1, 4), false},    // odd slots 3,5,7 -> v 1..3
+		{win(4, 5), 0, win(2, 3), false},    // single even slot
+		{win(4, 5), 1, jobs.Window{}, true}, // no odd slot in [4,5)
+		{win(5, 6), 0, jobs.Window{}, true}, // no even slot in [5,6)
+	}
+	for _, c := range cases {
+		got, err := virtualWindow(c.w, c.parity)
+		if c.err {
+			if err == nil {
+				t.Errorf("virtualWindow(%v,%d) succeeded: %v", c.w, c.parity, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("virtualWindow(%v,%d): %v", c.w, c.parity, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("virtualWindow(%v,%d) = %v, want %v", c.w, c.parity, got, c.want)
+		}
+		// Round-trip: every v in the virtual window maps into the original.
+		for v := got.Start; v < got.End; v++ {
+			if r := 2*v + c.parity; !c.w.Contains(r) {
+				t.Errorf("virtual slot %d -> real %d outside %v", v, r, c.w)
+			}
+		}
+	}
+}
+
+func TestIncrementalBasics(t *testing.T) {
+	s := NewIncremental(8, incFactory)
+	c, err := s.Insert(jobs.Job{Name: "a", Window: win(0, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reallocations < 1 {
+		t.Errorf("cost %+v", c)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Assignment()["a"]
+	if p.Slot < 0 || p.Slot >= 16 || p.Slot%2 != 0 {
+		t.Errorf("slot %d not an even slot of [0,16)", p.Slot)
+	}
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != 0 {
+		t.Error("not deleted")
+	}
+}
+
+func TestIncrementalRejections(t *testing.T) {
+	s := NewIncremental(8, incFactory)
+	if _, err := s.Insert(jobs.Job{Name: "tiny", Window: win(5, 6)}); err == nil {
+		t.Error("span-1 window accepted in incremental mode")
+	}
+	if _, err := s.Insert(jobs.Job{Name: "a", Window: win(0, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(jobs.Job{Name: "a", Window: win(0, 8)}); !errors.Is(err, sched.ErrDuplicateJob) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := s.Delete("ghost"); !errors.Is(err, sched.ErrUnknownJob) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+func TestParityFlipsAcrossTransition(t *testing.T) {
+	s := NewIncremental(2, incFactory)
+	// Grow until at least one transition completes.
+	for i := 0; i < 40; i++ {
+		if _, err := s.Insert(jobs.Job{Name: fmt.Sprintf("j%d", i), Window: win(0, 1<<20)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if err := s.SelfCheck(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if s.Transitions() == 0 {
+		t.Fatal("no transitions happened")
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The deamortization claim: max single-request cost stays O(1) across n*
+// boundaries, unlike the amortized wrapper's O(n) rebuild spikes.
+func TestWorstCaseRequestCostBounded(t *testing.T) {
+	inc := NewIncremental(8, incFactory)
+	am := New(8, incFactory)
+
+	maxInc, maxAm := 0, 0
+	track := func(c metrics.Cost, m *int) {
+		if c.Reallocations > *m {
+			*m = c.Reallocations
+		}
+	}
+	const peak = 300
+	for i := 0; i < peak; i++ {
+		j := jobs.Job{Name: fmt.Sprintf("g%d", i), Window: win(0, 1<<20)}
+		ci, err := inc.Insert(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		track(ci, &maxInc)
+		ca, err := am.Insert(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		track(ca, &maxAm)
+	}
+	for i := 0; i < peak; i++ {
+		name := fmt.Sprintf("g%d", i)
+		ci, err := inc.Delete(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		track(ci, &maxInc)
+		ca, err := am.Delete(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		track(ca, &maxAm)
+	}
+	// The incremental wrapper moves at most movesPerRequest jobs plus the
+	// request itself, each O(1) inner cost; allow headroom for inner
+	// cascades. The amortized wrapper must have paid at least one O(peak)
+	// rebuild.
+	if maxInc > 6*movesPerRequest {
+		t.Errorf("incremental worst request cost %d, want O(1) (<= %d)", maxInc, 6*movesPerRequest)
+	}
+	if maxAm < peak/2 {
+		t.Errorf("amortized worst request cost %d, expected an O(n) rebuild spike >= %d", maxAm, peak/2)
+	}
+}
+
+func TestIncrementalChurn(t *testing.T) {
+	s := NewIncremental(8, incFactory)
+	g, err := workload.NewGenerator(workload.Config{
+		Seed: 31, Gamma: 16, Horizon: 4096, MinSpan: 2, Steps: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.RunChecked(s, g.Sequence(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalPanicsOnBadGamma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gamma 0 accepted")
+		}
+	}()
+	NewIncremental(0, incFactory)
+}
+
+// Force the burst path: a threshold crossing while a transition is still
+// draining must finish the old transition immediately and stay correct.
+func TestBurstOnNestedThresholdCrossing(t *testing.T) {
+	s := NewIncremental(2, incFactory)
+	// Rapid alternation right at n* boundaries: grow fast enough that a
+	// new doubling lands mid-transition.
+	for i := 0; i < 200; i++ {
+		if _, err := s.Insert(jobs.Job{Name: fmt.Sprintf("x%d", i), Window: win(0, 1<<16)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink just as fast.
+	for i := 0; i < 195; i++ {
+		if _, err := s.Delete(fmt.Sprintf("x%d", i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Transitions() < 5 {
+		t.Errorf("only %d transitions; boundary churn expected more", s.Transitions())
+	}
+}
+
+// Delete-only drain: transitions must complete even when no inserts
+// arrive to carry the migration work.
+func TestDeleteOnlyDrain(t *testing.T) {
+	s := NewIncremental(4, incFactory)
+	for i := 0; i < 64; i++ {
+		if _, err := s.Insert(jobs.Job{Name: fmt.Sprintf("d%d", i), Window: win(0, 1<<12)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := s.Delete(fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if err := s.SelfCheck(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+	if s.Active() != 0 {
+		t.Errorf("%d jobs remain", s.Active())
+	}
+	if s.InTransition() {
+		t.Error("transition never drained")
+	}
+}

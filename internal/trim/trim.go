@@ -1,0 +1,211 @@
+// Package trim implements the paper's "Trimming Windows to n" wrapper
+// (Section 4): it maintains an estimate n* of the active job count
+// (doubling when exceeded, halving when the count drops below n*/4) and
+// trims every window to an aligned sub-window of span at most
+// CeilPow2(2*γ*n*). Each time n* changes the schedule is rebuilt from
+// scratch, which costs O(n) reallocations but happens at most once every
+// Θ(n) requests, for an amortized O(1) overhead — exactly the paper's
+// amortized argument. (The paper sketches a deamortization via even/odd
+// slots; this implementation keeps the amortized variant and reports the
+// rebuild cost explicitly so experiments can observe the amortization.)
+//
+// Trimming makes the reallocation cost of the inner scheduler a function
+// of log*(n) rather than log*(Δ): with windows capped at O(γ n*), the
+// number of active levels is O(log* n).
+package trim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Factory builds a fresh inner single-machine scheduler for each rebuild.
+type Factory func() sched.Scheduler
+
+// Scheduler wraps an aligned single-machine scheduler with window
+// trimming and n* maintenance.
+type Scheduler struct {
+	factory   Factory
+	inner     sched.Scheduler
+	gamma     int64
+	nStar     int
+	originals map[string]jobs.Window // job -> original aligned window
+
+	// rebuilds counts schedule rebuilds, exposed for experiments.
+	rebuilds int
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// New returns a trimming wrapper. gamma is the slack factor used in the
+// trim cap 2*gamma*n*; the paper's analysis wants the instance to be
+// gamma-underallocated.
+func New(gamma int64, factory Factory) *Scheduler {
+	if gamma < 1 {
+		panic(fmt.Sprintf("trim: gamma %d < 1", gamma))
+	}
+	return &Scheduler{
+		factory:   factory,
+		inner:     factory(),
+		gamma:     gamma,
+		nStar:     1,
+		originals: make(map[string]jobs.Window),
+	}
+}
+
+// Machines returns the inner scheduler's machine count.
+func (s *Scheduler) Machines() int { return s.inner.Machines() }
+
+// Active returns the number of active jobs.
+func (s *Scheduler) Active() int { return len(s.originals) }
+
+// NStar exposes the current estimate n* (for tests and experiments).
+func (s *Scheduler) NStar() int { return s.nStar }
+
+// Rebuilds returns how many full rebuilds have occurred.
+func (s *Scheduler) Rebuilds() int { return s.rebuilds }
+
+// Cap returns the current trim cap: the largest window span kept.
+func (s *Scheduler) Cap() int64 {
+	return mathx.CeilPow2(2 * s.gamma * int64(s.nStar))
+}
+
+// Jobs returns the active jobs with their original (untrimmed) windows.
+func (s *Scheduler) Jobs() []jobs.Job {
+	out := make([]jobs.Job, 0, len(s.originals))
+	for name, w := range s.originals {
+		out = append(out, jobs.Job{Name: name, Window: w})
+	}
+	return out
+}
+
+// Assignment returns the inner scheduler's assignment; every placement is
+// inside the trimmed window, hence inside the original window.
+func (s *Scheduler) Assignment() jobs.Assignment { return s.inner.Assignment() }
+
+// trimWindow reduces an aligned window to its leftmost aligned sub-window
+// of span at most cap.
+func trimWindow(w jobs.Window, cap int64) jobs.Window {
+	if w.Span() <= cap {
+		return w
+	}
+	return jobs.Window{Start: w.Start, End: w.Start + cap}
+}
+
+// Insert trims the job's window to the current cap and delegates.
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	if err := j.Validate(); err != nil {
+		return metrics.Cost{}, err
+	}
+	if !j.Window.IsAligned() {
+		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
+	}
+	if _, dup := s.originals[j.Name]; dup {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
+	}
+	trimmed := jobs.Job{Name: j.Name, Window: trimWindow(j.Window, s.Cap())}
+	cost, err := s.inner.Insert(trimmed)
+	if err != nil {
+		return cost, err
+	}
+	s.originals[j.Name] = j.Window
+	extra, err := s.maybeResize()
+	cost.Add(extra)
+	return cost, err
+}
+
+// Delete removes a job and delegates.
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	if _, ok := s.originals[name]; !ok {
+		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+	}
+	cost, err := s.inner.Delete(name)
+	if err != nil {
+		return cost, err
+	}
+	delete(s.originals, name)
+	extra, err := s.maybeResize()
+	cost.Add(extra)
+	return cost, err
+}
+
+// maybeResize adjusts n* and rebuilds the inner scheduler when the
+// active count crosses the doubling/halving thresholds.
+func (s *Scheduler) maybeResize() (metrics.Cost, error) {
+	n := len(s.originals)
+	changed := false
+	for n > s.nStar {
+		s.nStar *= 2
+		changed = true
+	}
+	for s.nStar > 1 && 4*n < s.nStar {
+		s.nStar /= 2
+		changed = true
+	}
+	if !changed {
+		return metrics.Cost{}, nil
+	}
+	return s.rebuild()
+}
+
+// rebuild reconstructs the inner scheduler from scratch with windows
+// trimmed to the new cap, counting every job whose placement changed.
+func (s *Scheduler) rebuild() (metrics.Cost, error) {
+	s.rebuilds++
+	before := s.inner.Assignment()
+	fresh := s.factory()
+	cap := s.Cap()
+
+	names := make([]string, 0, len(s.originals))
+	for name := range s.originals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		j := jobs.Job{Name: name, Window: trimWindow(s.originals[name], cap)}
+		if _, err := fresh.Insert(j); err != nil {
+			return metrics.Cost{}, fmt.Errorf("trim: rebuild failed inserting %q: %w", name, err)
+		}
+	}
+	s.inner = fresh
+	after := s.inner.Assignment()
+	moved, migrated := before.Diff(after)
+	return metrics.Cost{Reallocations: moved, Migrations: migrated}, nil
+}
+
+// SelfCheck validates the wrapper's bookkeeping and the inner scheduler.
+func (s *Scheduler) SelfCheck() error {
+	if err := s.inner.SelfCheck(); err != nil {
+		return err
+	}
+	if s.inner.Active() != len(s.originals) {
+		return fmt.Errorf("trim: inner has %d jobs, wrapper tracks %d", s.inner.Active(), len(s.originals))
+	}
+	n := len(s.originals)
+	if n > s.nStar {
+		return fmt.Errorf("trim: n=%d exceeds n*=%d", n, s.nStar)
+	}
+	if s.nStar > 1 && 4*n < s.nStar {
+		return fmt.Errorf("trim: n=%d below n*/4 (n*=%d)", n, s.nStar)
+	}
+	cap := s.Cap()
+	asn := s.inner.Assignment()
+	for name, orig := range s.originals {
+		p, ok := asn[name]
+		if !ok {
+			return fmt.Errorf("trim: job %q missing from inner assignment", name)
+		}
+		if !orig.Contains(p.Slot) {
+			return fmt.Errorf("trim: job %q at slot %d outside original window %v", name, p.Slot, orig)
+		}
+		if !trimWindow(orig, cap).Contains(p.Slot) {
+			return fmt.Errorf("trim: job %q at slot %d outside trimmed window", name, p.Slot)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package viz_test
+
+import (
+	"os"
+
+	"repro/internal/jobs"
+	"repro/internal/viz"
+)
+
+// Render draws machines as rows and timeslots as columns.
+func ExampleRender() {
+	js := []jobs.Job{
+		{Name: "web", Window: jobs.Window{Start: 0, End: 6}},
+		{Name: "db", Window: jobs.Window{Start: 2, End: 8}},
+	}
+	asn := jobs.Assignment{
+		"web": {Machine: 0, Slot: 1},
+		"db":  {Machine: 1, Slot: 4},
+	}
+	_ = viz.Render(os.Stdout, js, asn, 2, viz.Options{From: 0, To: 8})
+	// Output:
+	// slots [0, 8)
+	// machine 0 |.w......|
+	// machine 1 |....d...|
+}

@@ -1,0 +1,248 @@
+// Package workload generates random request sequences that are
+// γ-underallocated by construction, the precondition of the paper's
+// Theorem 1. It also provides the scenario generators used by the
+// examples (clinic bookings, cloud batch churn).
+//
+// Underallocation is enforced with a dyadic budget tree: for every
+// aligned window V over the horizon, the number of active jobs whose
+// windows nest inside V never exceeds m*|V|/γ. By Lemma 2 this is the
+// exact slack the paper's schedulers rely on, and it implies feasibility
+// (Hall's condition) whenever γ >= 1.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+)
+
+// Config parameterizes the random aligned churn generator.
+type Config struct {
+	Seed     int64
+	Machines int   // m in the underallocation budget (default 1)
+	Gamma    int64 // slack factor enforced by construction (default 8)
+	Horizon  int64 // timeline is [0, Horizon), a power of two (default 1024)
+	MaxSpan  int64 // largest window span generated, a power of two (default Horizon)
+	MinSpan  int64 // smallest window span generated, a power of two (default 1)
+	// Target is the active-job population the generator steers toward:
+	// below Target it mostly inserts, above it mostly deletes.
+	Target int
+	// Steps is the number of requests to generate.
+	Steps int
+}
+
+func (c *Config) fill() error {
+	if c.Machines == 0 {
+		c.Machines = 1
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1024
+	}
+	if c.MaxSpan == 0 {
+		c.MaxSpan = c.Horizon
+	}
+	if c.MinSpan == 0 {
+		c.MinSpan = 1
+	}
+	if c.Target == 0 {
+		c.Target = int(c.Horizon * int64(c.Machines) / (4 * c.Gamma))
+		if c.Target < 1 {
+			c.Target = 1
+		}
+	}
+	if c.Steps == 0 {
+		c.Steps = 4 * c.Target
+	}
+	if !mathx.IsPow2(c.Horizon) || !mathx.IsPow2(c.MaxSpan) || !mathx.IsPow2(c.MinSpan) {
+		return fmt.Errorf("workload: horizon, max span, and min span must be powers of two (got %d, %d, %d)",
+			c.Horizon, c.MaxSpan, c.MinSpan)
+	}
+	if c.MinSpan > c.MaxSpan || c.MaxSpan > c.Horizon {
+		return fmt.Errorf("workload: need MinSpan <= MaxSpan <= Horizon (got %d, %d, %d)",
+			c.MinSpan, c.MaxSpan, c.Horizon)
+	}
+	return nil
+}
+
+// Generator produces γ-underallocated aligned request sequences and
+// tracks the active set it has emitted.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	budget *budgetTree
+	active []jobs.Job // insertion-ordered active jobs
+	names  map[string]int
+	nextID int
+}
+
+// NewGenerator validates the config and returns a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		budget: newBudgetTree(cfg.Horizon, int64(cfg.Machines), cfg.Gamma),
+		names:  make(map[string]int),
+	}, nil
+}
+
+// Active returns a snapshot of the active job set.
+func (g *Generator) Active() []jobs.Job {
+	out := make([]jobs.Job, len(g.active))
+	copy(out, g.active)
+	return out
+}
+
+// Next produces the next request. The emitted sequence keeps the active
+// set γ-underallocated after every request.
+func (g *Generator) Next() jobs.Request {
+	insertBias := 0.85
+	if len(g.active) >= g.cfg.Target {
+		insertBias = 0.35
+	}
+	if len(g.active) > 0 && g.rng.Float64() > insertBias {
+		return g.emitDelete()
+	}
+	if r, ok := g.tryInsert(); ok {
+		return r
+	}
+	// Budget exhausted everywhere useful: churn by deleting.
+	if len(g.active) > 0 {
+		return g.emitDelete()
+	}
+	panic("workload: cannot insert into empty budget (gamma too large for horizon)")
+}
+
+// Sequence produces cfg.Steps requests.
+func (g *Generator) Sequence() []jobs.Request {
+	out := make([]jobs.Request, 0, g.cfg.Steps)
+	for i := 0; i < g.cfg.Steps; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+func (g *Generator) emitDelete() jobs.Request {
+	i := g.rng.Intn(len(g.active))
+	j := g.active[i]
+	g.active[i] = g.active[len(g.active)-1]
+	g.active = g.active[:len(g.active)-1]
+	delete(g.names, j.Name)
+	g.budget.remove(j.Window)
+	return jobs.DeleteReq(j.Name)
+}
+
+// tryInsert samples aligned windows until one fits the budget (bounded
+// retries) and emits the insert.
+func (g *Generator) tryInsert() (jobs.Request, bool) {
+	minE := mathx.Log2Exact(g.cfg.MinSpan)
+	maxE := mathx.Log2Exact(g.cfg.MaxSpan)
+	for attempt := 0; attempt < 64; attempt++ {
+		e := minE + g.rng.Intn(maxE-minE+1)
+		span := int64(1) << uint(e)
+		start := mathx.AlignDown(g.rng.Int63n(g.cfg.Horizon), span)
+		w := jobs.Window{Start: start, End: start + span}
+		if !g.budget.tryAdd(w) {
+			continue
+		}
+		name := fmt.Sprintf("j%06d", g.nextID)
+		g.nextID++
+		g.active = append(g.active, jobs.Job{Name: name, Window: w})
+		g.names[name] = 1
+		return jobs.InsertReq(name, w.Start, w.End), true
+	}
+	return jobs.Request{}, false
+}
+
+// budgetTree tracks, for every dyadic window over [0, horizon), how many
+// active jobs nest inside it, and admits a new job only if every
+// ancestor keeps count*gamma <= m*span.
+type budgetTree struct {
+	horizon int64
+	m       int64
+	gamma   int64
+	counts  map[dyadicKey]int64
+}
+
+type dyadicKey struct {
+	start int64
+	span  int64
+}
+
+func newBudgetTree(horizon, m, gamma int64) *budgetTree {
+	return &budgetTree{horizon: horizon, m: m, gamma: gamma, counts: make(map[dyadicKey]int64)}
+}
+
+// ancestors yields the dyadic chain from w itself up to [0, horizon).
+func (b *budgetTree) ancestors(w jobs.Window) []dyadicKey {
+	var out []dyadicKey
+	span := w.Span()
+	start := w.Start
+	for span <= b.horizon {
+		out = append(out, dyadicKey{start: start, span: span})
+		span *= 2
+		start = mathx.AlignDown(start, span)
+	}
+	return out
+}
+
+// tryAdd admits w if the budget allows, updating counts.
+func (b *budgetTree) tryAdd(w jobs.Window) bool {
+	chain := b.ancestors(w)
+	for _, k := range chain {
+		if (b.counts[k]+1)*b.gamma > b.m*k.span {
+			return false
+		}
+	}
+	for _, k := range chain {
+		b.counts[k]++
+	}
+	return true
+}
+
+// remove releases w's budget.
+func (b *budgetTree) remove(w jobs.Window) {
+	for _, k := range b.ancestors(w) {
+		if b.counts[k] == 0 {
+			panic(fmt.Sprintf("workload: budget underflow at %+v", k))
+		}
+		b.counts[k]--
+	}
+}
+
+// NestedCascade builds the insertion sequence that maximizes the naive
+// scheduler's cascade depth (the Lemma 4 worst case): for every span
+// 2^e from maxSpan down to 2, fill a quarter of the window [0, span)
+// with jobs of that span, then repeatedly probe with span-1 jobs at
+// [0, 1). The result exercises Θ(log Δ) cascades while remaining
+// 2-underallocated.
+func NestedCascade(maxSpan int64, probes int) []jobs.Request {
+	if !mathx.IsPow2(maxSpan) || maxSpan < 4 {
+		panic(fmt.Sprintf("workload: NestedCascade span %d must be a power of two >= 4", maxSpan))
+	}
+	var reqs []jobs.Request
+	id := 0
+	for span := maxSpan; span >= 2; span /= 2 {
+		n := span / 4
+		if n == 0 {
+			n = 1
+		}
+		for i := int64(0); i < n; i++ {
+			reqs = append(reqs, jobs.InsertReq(fmt.Sprintf("fill%06d", id), 0, span))
+			id++
+		}
+	}
+	for p := 0; p < probes; p++ {
+		name := fmt.Sprintf("probe%04d", p)
+		reqs = append(reqs, jobs.InsertReq(name, 0, 1))
+		reqs = append(reqs, jobs.DeleteReq(name))
+	}
+	return reqs
+}

@@ -1,0 +1,178 @@
+// Package realloc is a Go implementation of the reallocating schedulers
+// from "Reallocation Problems in Scheduling" (Bender, Farach-Colton,
+// Fekete, Fineman, Gilbert; SPAA 2013, arXiv:1305.6555).
+//
+// A reallocating scheduler maintains a feasible schedule for unit-length
+// jobs with arrival/deadline windows on m identical machines while jobs
+// are inserted and deleted online. Changing a job's slot costs one
+// reallocation; changing its machine costs one migration. The paper's
+// main result (Theorem 1) is a scheduler that, on γ-underallocated
+// request sequences, serves every request with O(min{log* n, log* Δ})
+// reallocations and at most one migration.
+//
+// New builds the full Theorem 1 stack:
+//
+//	s := realloc.New(realloc.WithMachines(4))
+//	cost, err := s.Insert(realloc.Job{Name: "patient-17", Window: realloc.Win(9, 17)})
+//	...
+//	cost, err = s.Delete("patient-17")
+//
+// The stack composes, outermost first: window alignment (Section 5),
+// round-robin machine delegation (Section 3), window trimming with n*
+// doubling (Section 4), and the reservation-based pecking-order
+// scheduler (Section 4, the paper's core contribution). Each layer is
+// independently available via options, and the classical baselines the
+// paper compares against (naive pecking order, EDF/LLF recompute) are
+// exposed as NewNaive and NewEDF.
+package realloc
+
+import (
+	"repro/internal/alignsched"
+	"repro/internal/core"
+	"repro/internal/edf"
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/multi"
+	"repro/internal/naive"
+	"repro/internal/sched"
+	"repro/internal/trim"
+)
+
+// Re-exported model types. See the internal/jobs package for details.
+type (
+	// Window is a half-open interval [Start, End) of integer timeslots.
+	Window = jobs.Window
+	// Job is a unit-length job with a name and a window.
+	Job = jobs.Job
+	// Request is one insert or delete of an on-line execution.
+	Request = jobs.Request
+	// Placement locates a scheduled job: machine index and timeslot.
+	Placement = jobs.Placement
+	// Assignment is a snapshot of a schedule: job name -> placement.
+	Assignment = jobs.Assignment
+	// Cost is the price of one request: reallocations and migrations.
+	Cost = metrics.Cost
+	// Scheduler is the common interface of every scheduler in this
+	// module.
+	Scheduler = sched.Scheduler
+)
+
+// Re-exported sentinel errors.
+var (
+	// ErrDuplicateJob reports an insert whose name is already active.
+	ErrDuplicateJob = sched.ErrDuplicateJob
+	// ErrUnknownJob reports a delete of an inactive name.
+	ErrUnknownJob = sched.ErrUnknownJob
+	// ErrInfeasible reports that no feasible placement exists — the
+	// instance is not sufficiently underallocated.
+	ErrInfeasible = sched.ErrInfeasible
+	// ErrMisaligned reports an unaligned window given to an aligned-only
+	// scheduler (disable alignment wrapping to see it).
+	ErrMisaligned = sched.ErrMisaligned
+)
+
+// Win builds the window [start, end).
+func Win(start, end int64) Window { return Window{Start: start, End: end} }
+
+// InsertReq builds an insert request.
+func InsertReq(name string, start, end int64) Request { return jobs.InsertReq(name, start, end) }
+
+// DeleteReq builds a delete request.
+func DeleteReq(name string) Request { return jobs.DeleteReq(name) }
+
+// Options configure New.
+type Options struct {
+	machines   int
+	gamma      int64
+	align      bool
+	trim       bool
+	deamortize bool
+}
+
+// Option customizes the scheduler stack built by New.
+type Option func(*Options)
+
+// WithMachines sets the number of machines (default 1).
+func WithMachines(m int) Option { return func(o *Options) { o.machines = m } }
+
+// WithGamma sets the slack factor used by window trimming (default 8,
+// the constant Lemma 8 needs for the single-machine scheduler).
+func WithGamma(gamma int64) Option { return func(o *Options) { o.gamma = gamma } }
+
+// WithoutAlignment drops the Section 5 wrapper; every window must then
+// be aligned (span a power of two, start a multiple of the span).
+func WithoutAlignment() Option { return func(o *Options) { o.align = false } }
+
+// WithoutTrimming drops the Section 4 n*-trimming wrapper; windows are
+// then used at full span (reallocation cost follows log* Δ, and spans
+// above 2^28 are rejected to bound interval bookkeeping).
+func WithoutTrimming() Option { return func(o *Options) { o.trim = false } }
+
+// WithDeamortization replaces the amortized n*-rebuild with the paper's
+// even/odd-slot incremental rebuild: worst-case O(1) inner operations
+// per request instead of occasional O(n) rebuild spikes, at the price of
+// extra constant-factor underallocation (and windows must span >= 2
+// slots). Implies trimming.
+func WithDeamortization() Option {
+	return func(o *Options) { o.trim = true; o.deamortize = true }
+}
+
+// New builds the paper's Theorem 1 reallocating scheduler:
+// alignment -> round-robin delegation over m machines -> per-machine
+// window trimming -> reservation-based pecking-order scheduling.
+func New(opts ...Option) Scheduler {
+	o := Options{machines: 1, gamma: 8, align: true, trim: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	coreFactory := func() sched.Scheduler { return core.New(core.WithMaxIntervals(1 << 20)) }
+	single := coreFactory
+	if o.trim {
+		gamma := o.gamma
+		if o.deamortize {
+			single = func() sched.Scheduler { return trim.NewIncremental(gamma, coreFactory) }
+		} else {
+			single = func() sched.Scheduler { return trim.New(gamma, coreFactory) }
+		}
+	}
+	var s sched.Scheduler
+	if o.machines == 1 {
+		s = single()
+	} else {
+		s = multi.New(o.machines, multi.Factory(single))
+	}
+	if o.align {
+		s = alignsched.New(s)
+	}
+	return s
+}
+
+// NewReservation returns the bare single-machine reservation scheduler
+// (Section 4) without trimming or alignment: windows must be aligned.
+func NewReservation() Scheduler { return core.New() }
+
+// NewNaive returns the naive pecking-order scheduler of Lemma 4
+// (single-machine, aligned windows, O(log Δ) reallocations per request).
+func NewNaive() Scheduler { return naive.New() }
+
+// NewEDF returns the earliest-deadline-first recompute baseline on m
+// machines: feasible whenever possible, but brittle — a single request
+// can reallocate Θ(n) jobs.
+func NewEDF(m int) Scheduler { return edf.New(m, edf.TieByArrival) }
+
+// Apply routes one request to a scheduler.
+func Apply(s Scheduler, r Request) (Cost, error) { return sched.Apply(s, r) }
+
+// Run feeds a request sequence to a scheduler, stopping at the first
+// error and returning how many requests were served.
+func Run(s Scheduler, reqs []Request) (int, error) { return sched.Run(s, reqs, nil) }
+
+// Verify checks that the scheduler's current assignment is a feasible
+// schedule for its active job set: every job inside its window, machine
+// indices in range, no two jobs sharing a machine-slot. It complements
+// SelfCheck (which validates internal invariants) with a purely external
+// check any caller can run.
+func Verify(s Scheduler) error {
+	return feasible.VerifySchedule(s.Jobs(), s.Assignment(), s.Machines())
+}

@@ -1,0 +1,154 @@
+package realloc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feasible"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	s := New()
+	c, err := s.Insert(Job{Name: "a", Window: Win(3, 17)}) // unaligned is fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reallocations < 1 {
+		t.Errorf("cost = %+v", c)
+	}
+	p := s.Assignment()["a"]
+	if p.Slot < 3 || p.Slot >= 17 {
+		t.Errorf("slot %d outside window", p.Slot)
+	}
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Active() != 0 {
+		t.Error("delete failed")
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	s := New()
+	if _, err := s.Insert(Job{Name: "a", Window: Win(0, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(Job{Name: "a", Window: Win(0, 8)}); !errors.Is(err, ErrDuplicateJob) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := s.Delete("ghost"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown: %v", err)
+	}
+	bare := NewReservation()
+	if _, err := bare.Insert(Job{Name: "m", Window: Win(1, 4)}); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("misaligned: %v", err)
+	}
+}
+
+func TestMultiMachineStack(t *testing.T) {
+	m := 4
+	s := New(WithMachines(m), WithGamma(8))
+	if s.Machines() != m {
+		t.Fatalf("machines = %d", s.Machines())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		span := 64 + rng.Int63n(500)
+		start := rng.Int63n(4000)
+		if _, err := s.Insert(Job{Name: fmt.Sprintf("j%d", i), Window: Win(start, start+span)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), m); err != nil {
+		t.Fatal(err)
+	}
+	// Every request migrates at most one job.
+	for i := 0; i < 100; i++ {
+		c, err := s.Delete(fmt.Sprintf("j%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Migrations > 1 {
+			t.Errorf("delete %d migrated %d", i, c.Migrations)
+		}
+	}
+}
+
+func TestWithoutWrappers(t *testing.T) {
+	s := New(WithoutAlignment(), WithoutTrimming())
+	if _, err := s.Insert(Job{Name: "x", Window: Win(5, 9)}); !errors.Is(err, ErrMisaligned) {
+		t.Errorf("expected misaligned without the Section 5 wrapper, got %v", err)
+	}
+	if _, err := s.Insert(Job{Name: "y", Window: Win(0, 64)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	for name, s := range map[string]Scheduler{
+		"naive": NewNaive(),
+		"edf":   NewEDF(2),
+	} {
+		if _, err := s.Insert(Job{Name: "a", Window: Win(0, 8)}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := s.SelfCheck(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunAndApply(t *testing.T) {
+	s := New()
+	reqs := []Request{
+		InsertReq("a", 0, 16),
+		InsertReq("b", 0, 16),
+		DeleteReq("a"),
+	}
+	n, err := Run(s, reqs)
+	if err != nil || n != 3 {
+		t.Fatalf("Run = %d, %v", n, err)
+	}
+	if s.Active() != 1 {
+		t.Errorf("active = %d", s.Active())
+	}
+	if _, err := Apply(s, DeleteReq("b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackSustainsChurn(t *testing.T) {
+	s := New(WithMachines(2))
+	rng := rand.New(rand.NewSource(9))
+	var names []string
+	id := 0
+	for step := 0; step < 600; step++ {
+		if len(names) > 30 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(names))
+			if _, err := s.Delete(names[i]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			names = append(names[:i], names[i+1:]...)
+			continue
+		}
+		span := 32 + rng.Int63n(200)
+		start := rng.Int63n(2000)
+		name := fmt.Sprintf("c%d", id)
+		id++
+		if _, err := s.Insert(Job{Name: name, Window: Win(start, start+span)}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		names = append(names, name)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), 2); err != nil {
+		t.Fatal(err)
+	}
+}

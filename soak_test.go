@@ -1,0 +1,75 @@
+// Soak test: a long mixed run through the full public stack, checking
+// feasibility and cost envelopes throughout. Skipped under -short.
+package realloc
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSoakFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const m = 4
+	s := New(WithMachines(m))
+	g, err := workload.NewGenerator(workload.Config{
+		Seed: 2013, Machines: m, Gamma: 24, Horizon: 1 << 15, Steps: 20000, MinSpan: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCost, maxMigr, total := 0, 0, 0
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Kind == 0 { // jitter inserts off the aligned lattice
+			r.Window.End += r.Window.Span() / 3
+		}
+		c, err := Apply(s, r)
+		if err != nil {
+			t.Fatalf("request %d (%s): %v", i, r, err)
+		}
+		total += c.Reallocations
+		if c.Reallocations > maxCost {
+			maxCost = c.Reallocations
+		}
+		if c.Migrations > maxMigr {
+			maxMigr = c.Migrations
+		}
+		if i%2500 == 0 {
+			if err := s.SelfCheck(); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if err := Verify(s); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+	}
+	if err := Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if maxMigr > 1 {
+		t.Errorf("max migrations per request %d > 1", maxMigr)
+	}
+	// Trimming rebuilds allow occasional O(n) spikes; the envelope over
+	// 20k requests with ~500 resident jobs stays well under n.
+	if maxCost > 2000 {
+		t.Errorf("worst request cost %d implausible", maxCost)
+	}
+	t.Logf("soak: %d requests, %.2f reallocs/req mean, worst %d, active %d",
+		20000, float64(total)/20000, maxCost, s.Active())
+}
+
+func TestVerifyHelper(t *testing.T) {
+	s := New()
+	if err := Verify(s); err != nil {
+		t.Errorf("empty scheduler: %v", err)
+	}
+	if _, err := s.Insert(Job{Name: "a", Window: Win(0, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s); err != nil {
+		t.Errorf("after insert: %v", err)
+	}
+}
