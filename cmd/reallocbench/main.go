@@ -1,0 +1,284 @@
+// Command reallocbench replays workload scenarios against the
+// sequential Theorem 1 stack and the concurrent sharded front-end, and
+// emits a machine-readable benchmark report: throughput, p50/p99
+// request latency, and total reallocation/migration costs per
+// configuration.
+//
+// Usage:
+//
+//	reallocbench                          # mixed scenario, shards {1,4,8}, BENCH_PR1.json
+//	reallocbench -scenario cloud -requests 20000
+//	reallocbench -shards 1,2,4,8,16 -drivers 16 -out bench.json
+//	reallocbench -quick                   # small parameters for smoke runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	realloc "repro"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Machines int    `json:"machines"`
+	Requests int    `json:"requests"`
+	Drivers  int    `json:"drivers"`
+	Runs     []Run  `json:"runs"`
+}
+
+// Run is one benchmarked configuration.
+type Run struct {
+	Name          string       `json:"name"`
+	Shards        int          `json:"shards"` // 0 = sequential (unsharded) stack
+	Drivers       int          `json:"drivers"`
+	Served        int          `json:"served"`
+	Failures      int          `json:"failures"`
+	WallMillis    float64      `json:"wall_ms"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	P50LatencyUS  float64      `json:"p50_latency_us"`
+	P99LatencyUS  float64      `json:"p99_latency_us"`
+	Reallocations int          `json:"reallocations"`
+	Migrations    int          `json:"migrations"`
+	Overflow      int          `json:"overflow,omitempty"`
+	ShardDetail   []ShardStats `json:"shard_detail,omitempty"`
+}
+
+// ShardStats is the per-shard slice of a sharded run.
+type ShardStats struct {
+	Shard         int `json:"shard"`
+	Machines      int `json:"machines"`
+	Requests      int `json:"requests"`
+	Failures      int `json:"failures"`
+	Rerouted      int `json:"rerouted"`
+	Overflow      int `json:"overflow"`
+	Batches       int `json:"batches"`
+	Active        int `json:"active"`
+	Reallocations int `json:"reallocations"`
+	Migrations    int `json:"migrations"`
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, or sliding")
+		machines = flag.Int("machines", 8, "total machine pool")
+		requests = flag.Int("requests", 20000, "request count (scenario permitting)")
+		shardSet = flag.String("shards", "1,4,8", "comma-separated shard counts for the sharded runs")
+		drivers  = flag.Int("drivers", 8, "concurrent driver goroutines for the sharded runs")
+		seed     = flag.Int64("seed", 1, "scenario seed")
+		out      = flag.String("out", "BENCH_PR1.json", "output JSON path")
+		quick    = flag.Bool("quick", false, "small parameters for smoke runs")
+	)
+	flag.Parse()
+
+	if *quick {
+		*requests = 2000
+	}
+	reqs, err := buildScenario(*scenario, *seed, *machines, *requests)
+	if err != nil {
+		fail(err)
+	}
+	shardCounts, err := parseShards(*shardSet)
+	if err != nil {
+		fail(err)
+	}
+
+	rep := Report{Scenario: *scenario, Machines: *machines, Requests: len(reqs), Drivers: *drivers}
+
+	seqRun := runSequential(reqs, *machines)
+	rep.Runs = append(rep.Runs, seqRun)
+	fmt.Printf("%-14s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
+		seqRun.Name, seqRun.ThroughputRPS, seqRun.P50LatencyUS, seqRun.P99LatencyUS,
+		seqRun.Reallocations, seqRun.Migrations, seqRun.Failures)
+
+	for _, s := range shardCounts {
+		r := runSharded(reqs, *machines, s, *drivers)
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("%-14s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
+			r.Name, r.ThroughputRPS, r.P50LatencyUS, r.P99LatencyUS,
+			r.Reallocations, r.Migrations, r.Failures, r.Overflow)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Request, error) {
+	switch name {
+	case "mixed":
+		return workload.Mixed(workload.MixedConfig{
+			Seed: seed, Machines: machines, Horizon: 1 << 14, Steps: requests,
+		})
+	case "cloud":
+		return workload.Cloud(workload.CloudConfig{
+			Seed: seed, Machines: machines, Steps: requests,
+		})
+	case "clinic":
+		return workload.Clinic(workload.ClinicConfig{Seed: seed})
+	case "sliding":
+		return workload.Sliding(workload.SlidingConfig{Seed: seed, Steps: requests})
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, or sliding)", name)
+	}
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runSequential replays the scenario single-threaded against the plain
+// Theorem 1 stack.
+func runSequential(reqs []jobs.Request, machines int) Run {
+	s := realloc.New(realloc.WithMachines(machines))
+	lat := make([]time.Duration, 0, len(reqs))
+	failed := make(map[string]bool)
+	var reallocs, migrations, failures, served int
+	start := time.Now()
+	for _, r := range reqs {
+		if r.Kind == jobs.Delete && failed[r.Name] {
+			continue
+		}
+		t0 := time.Now()
+		c, err := realloc.Apply(s, r)
+		lat = append(lat, time.Since(t0))
+		if err != nil {
+			failures++
+			if r.Kind == jobs.Insert {
+				failed[r.Name] = true
+			}
+			continue
+		}
+		served++
+		reallocs += c.Reallocations
+		migrations += c.Migrations
+	}
+	wall := time.Since(start)
+	return finishRun(Run{
+		Name: "sequential", Shards: 0, Drivers: 1,
+		Served: served, Failures: failures,
+		Reallocations: reallocs, Migrations: migrations,
+	}, wall, lat)
+}
+
+// runSharded replays the scenario against the sharded front-end from
+// `drivers` concurrent goroutines, partitioning requests by job name so
+// each job's insert/delete order is preserved within its lane.
+func runSharded(reqs []jobs.Request, machines, shards, drivers int) Run {
+	s := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+	defer s.Close()
+
+	lanes := make([][]jobs.Request, drivers)
+	for _, r := range reqs {
+		h := fnv.New64a()
+		h.Write([]byte(r.Name))
+		lane := int(h.Sum64() % uint64(drivers))
+		lanes[lane] = append(lanes[lane], r)
+	}
+
+	laneLat := make([][]time.Duration, drivers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for lane, rs := range lanes {
+		wg.Add(1)
+		go func(lane int, rs []jobs.Request) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, len(rs))
+			failed := make(map[string]bool)
+			for _, r := range rs {
+				if r.Kind == jobs.Delete && failed[r.Name] {
+					continue
+				}
+				t0 := time.Now()
+				_, err := s.Apply(r)
+				lat = append(lat, time.Since(t0))
+				if err != nil && r.Kind == jobs.Insert {
+					failed[r.Name] = true
+				}
+			}
+			laneLat[lane] = lat
+		}(lane, rs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lat []time.Duration
+	for _, l := range laneLat {
+		lat = append(lat, l...)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	run := Run{
+		Name:          fmt.Sprintf("sharded-%d", shards),
+		Shards:        shards,
+		Drivers:       drivers,
+		Served:        rep.Served(),
+		Failures:      tot.Failures,
+		Overflow:      tot.Overflow,
+		Reallocations: tot.Cost.Reallocations,
+		Migrations:    tot.Cost.Migrations,
+	}
+	for _, sc := range rep.Shards {
+		run.ShardDetail = append(run.ShardDetail, ShardStats{
+			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,
+			Failures: sc.Failures, Rerouted: sc.Rerouted, Overflow: sc.Overflow,
+			Batches: sc.Batches, Active: sc.Active,
+			Reallocations: sc.Cost.Reallocations, Migrations: sc.Cost.Migrations,
+		})
+	}
+	return finishRun(run, wall, lat)
+}
+
+func finishRun(r Run, wall time.Duration, lat []time.Duration) Run {
+	r.WallMillis = float64(wall.Microseconds()) / 1e3
+	if wall > 0 {
+		r.ThroughputRPS = float64(len(lat)) / wall.Seconds()
+	}
+	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
+	r.P50LatencyUS = percentileUS(lat, 0.50)
+	r.P99LatencyUS = percentileUS(lat, 0.99)
+	return r
+}
+
+// percentileUS returns the p-th percentile of a sorted latency series in
+// microseconds (nearest-rank).
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank].Nanoseconds()) / 1e3
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reallocbench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShardCost aggregates the requests served by one shard of a sharded
+// scheduler front-end.
+type ShardCost struct {
+	// Shard is the shard index.
+	Shard int
+	// Machines is the number of machines the shard owns.
+	Machines int
+	// Requests is the number of requests the shard executed, including
+	// overflow requests routed to it as a fallback. A request that
+	// overflows is executed twice — once on the primary shard, once on
+	// the fallback — so the number of distinct requests across a report
+	// is sum(Requests) - sum(Rerouted).
+	Requests int
+	// Failures is the number of requests that terminally failed on this
+	// shard (duplicate, unknown, or infeasible with no fallback left).
+	// Rejections that were retried on another shard count under
+	// Rerouted instead.
+	Failures int
+	// Rerouted is the number of inserts this shard rejected as locally
+	// infeasible that the front-end then retried on a fallback shard.
+	Rerouted int
+	// Overflow is the number of requests this shard served after
+	// another shard rejected them as infeasible.
+	Overflow int
+	// Batches is the number of channel drains the shard worker
+	// performed; Requests/Batches is the mean pipeline batch size.
+	Batches int
+	// Active is the shard's active job count at report time.
+	Active int
+	// Cost is the shard's total reallocation/migration cost.
+	Cost Cost
+}
+
+// ShardReport is the shard-aware cost report of a sharded scheduler:
+// per-shard aggregates plus module-wide totals.
+type ShardReport struct {
+	Shards []ShardCost
+}
+
+// Total sums the per-shard aggregates.
+func (r ShardReport) Total() ShardCost {
+	var t ShardCost
+	t.Shard = -1
+	for _, s := range r.Shards {
+		t.Machines += s.Machines
+		t.Requests += s.Requests
+		t.Failures += s.Failures
+		t.Rerouted += s.Rerouted
+		t.Overflow += s.Overflow
+		t.Batches += s.Batches
+		t.Active += s.Active
+		t.Cost.Add(s.Cost)
+	}
+	return t
+}
+
+// Served returns the number of distinct requests that succeeded across
+// the report: executions minus fallback re-executions minus terminal
+// failures.
+func (r ShardReport) Served() int {
+	t := r.Total()
+	return t.Requests - t.Rerouted - t.Failures
+}
+
+// Imbalance returns max/mean executed requests across shards — 1.0 is a
+// perfectly even spread; 0 when nothing has been served.
+func (r ShardReport) Imbalance() float64 {
+	if len(r.Shards) == 0 {
+		return 0
+	}
+	total, maxR := 0, 0
+	for _, s := range r.Shards {
+		total += s.Requests
+		if s.Requests > maxR {
+			maxR = s.Requests
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.Shards))
+	return float64(maxR) / mean
+}
+
+// String renders one line per shard plus a totals line.
+func (r ShardReport) String() string {
+	var b strings.Builder
+	for _, s := range r.Shards {
+		fmt.Fprintf(&b, "shard %d: machines=%d active=%d reqs=%d fail=%d rerouted=%d overflow=%d batches=%d realloc=%d migr=%d\n",
+			s.Shard, s.Machines, s.Active, s.Requests, s.Failures, s.Rerouted, s.Overflow, s.Batches,
+			s.Cost.Reallocations, s.Cost.Migrations)
+	}
+	t := r.Total()
+	fmt.Fprintf(&b, "total:   machines=%d active=%d served=%d fail=%d rerouted=%d overflow=%d realloc=%d migr=%d imbalance=%.2f",
+		t.Machines, t.Active, r.Served(), t.Failures, t.Rerouted, t.Overflow,
+		t.Cost.Reallocations, t.Cost.Migrations, r.Imbalance())
+	return b.String()
+}

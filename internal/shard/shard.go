@@ -1,0 +1,599 @@
+// Package shard implements a thread-safe, horizontally sharded front-end
+// over the single-threaded reallocating schedulers of this repository.
+//
+// The machine pool is partitioned into S independent shards, each owning
+// a contiguous machine range and one inner sched.Scheduler (typically a
+// full Theorem 1 stack). Requests route to a primary shard by consistent
+// hashing of the job name; an insert the primary rejects as infeasible
+// overflows to the least-loaded shard. Each shard runs one worker
+// goroutine fed by a buffered request channel, so independent shards
+// serve requests in parallel and a burst against one shard pipelines
+// into batches instead of blocking the caller per request.
+//
+// Two request paths are exposed: Apply (and the Insert/Delete methods of
+// sched.Scheduler) is synchronous — it returns the request's cost after
+// the owning worker has served it — while Submit enqueues a request and
+// returns immediately, with Drain waiting for every outstanding request
+// and reporting asynchronous failures.
+//
+// Sharding trades the paper's global cost bounds for throughput: each
+// shard preserves Theorem 1's guarantees on its own machine range, but
+// underallocation is only enforced shard-locally, which is why overflow
+// routing exists. Report exposes the per-shard cost breakdown so callers
+// can watch the balance.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// ErrClosed reports a request sent to a closed scheduler.
+var ErrClosed = errors.New("shard: scheduler is closed")
+
+// reservedShard marks a name whose insert is still in flight.
+const reservedShard = -1
+
+// defaultBuffer is the per-shard request channel capacity.
+const defaultBuffer = 256
+
+// maxBatch bounds how many queued requests a worker drains per wakeup.
+const maxBatch = 64
+
+// Factory builds the inner scheduler of one shard, given the number of
+// machines the shard owns.
+type Factory func(machines int) sched.Scheduler
+
+// Config configures New.
+type Config struct {
+	// Shards is the number of shards S (default 1).
+	Shards int
+	// Machines is the total machine pool, partitioned near-evenly
+	// across shards (default Shards; must be >= Shards).
+	Machines int
+	// Factory builds each shard's inner scheduler (required).
+	Factory Factory
+	// Policy routes job names to primary shards (default: consistent
+	// hash ring with DefaultReplicas virtual nodes).
+	Policy Policy
+	// Buffer is the per-shard request channel capacity (default 256).
+	Buffer int
+}
+
+// Scheduler is the sharded front-end. It implements sched.Scheduler and
+// is safe for concurrent use by any number of goroutines.
+type Scheduler struct {
+	workers []*worker
+	policy  Policy
+
+	mu     sync.RWMutex
+	byJob  map[string]int // name -> shard, or reservedShard while in flight
+	active int            // committed entries in byJob
+
+	// sendMu serializes request sends against Close: senders hold the
+	// read side, Close holds the write side while closing channels.
+	sendMu sync.RWMutex
+	closed bool
+
+	// pendMu/pendCond/pendN track outstanding Submit requests. A plain
+	// WaitGroup cannot be used: Submit may Add while another goroutine
+	// is already blocked in Drain, which WaitGroup forbids.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pendN    int
+
+	errMu     sync.Mutex
+	asyncErrs []error
+	errCount  int
+}
+
+var _ sched.Scheduler = (*Scheduler)(nil)
+
+// worker owns one shard: its inner scheduler, machine range, request
+// channel, and statistics. Only the worker goroutine touches inner and
+// stats after startup.
+type worker struct {
+	idx      int
+	base     int // global index of the shard's first machine
+	machines int
+	inner    sched.Scheduler
+	reqs     chan task
+	done     chan struct{}
+	stats    metrics.ShardCost
+}
+
+type task struct {
+	req      jobs.Request
+	overflow bool
+	// retryable marks a primary insert that the front-end will retry on
+	// a fallback shard if this shard rejects it as infeasible; such a
+	// rejection counts as Rerouted, not as a terminal Failure.
+	retryable bool
+	finish    func(metrics.Cost, error)
+	// ctrl, when non-nil, runs on the worker goroutine instead of req
+	// (snapshots, self-checks, reports); ctrlDone signals completion.
+	ctrl     func(inner sched.Scheduler, st *metrics.ShardCost)
+	ctrlDone *sync.WaitGroup
+}
+
+// New builds a sharded scheduler. It panics on invalid configuration,
+// matching the constructors of the inner schedulers.
+func New(cfg Config) *Scheduler {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Machines == 0 {
+		cfg.Machines = cfg.Shards
+	}
+	if cfg.Shards < 1 || cfg.Machines < cfg.Shards {
+		panic(fmt.Sprintf("shard: %d shards over %d machines", cfg.Shards, cfg.Machines))
+	}
+	if cfg.Factory == nil {
+		panic("shard: nil Factory")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewRing(cfg.Shards, DefaultReplicas)
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = defaultBuffer
+	}
+	s := &Scheduler{
+		workers: make([]*worker, cfg.Shards),
+		policy:  cfg.Policy,
+		byJob:   make(map[string]int),
+	}
+	s.pendCond = sync.NewCond(&s.pendMu)
+	base := 0
+	for i := range s.workers {
+		m := cfg.Machines / cfg.Shards
+		if i < cfg.Machines%cfg.Shards {
+			m++ // spread the remainder over the earliest shards
+		}
+		w := &worker{
+			idx:      i,
+			base:     base,
+			machines: m,
+			inner:    cfg.Factory(m),
+			reqs:     make(chan task, cfg.Buffer),
+			done:     make(chan struct{}),
+		}
+		w.stats.Shard = i
+		w.stats.Machines = m
+		base += m
+		s.workers[i] = w
+		go w.run()
+	}
+	return s
+}
+
+// run is the shard worker loop: drain up to maxBatch queued tasks per
+// wakeup and serve them back to back.
+func (w *worker) run() {
+	defer close(w.done)
+	batch := make([]task, 0, maxBatch)
+	for {
+		t, ok := <-w.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+	fill:
+		for len(batch) < maxBatch {
+			select {
+			case t2, ok2 := <-w.reqs:
+				if !ok2 {
+					break fill
+				}
+				batch = append(batch, t2)
+			default:
+				break fill
+			}
+		}
+		w.stats.Batches++
+		for _, t := range batch {
+			w.exec(t)
+		}
+	}
+}
+
+func (w *worker) exec(t task) {
+	if t.ctrl != nil {
+		t.ctrl(w.inner, &w.stats)
+		t.ctrlDone.Done()
+		return
+	}
+	c, err := sched.Apply(w.inner, t.req)
+	w.stats.Requests++
+	switch {
+	case err != nil && t.retryable && errors.Is(err, sched.ErrInfeasible):
+		w.stats.Rerouted++
+	case err != nil:
+		w.stats.Failures++
+	case t.overflow:
+		w.stats.Overflow++
+	}
+	w.stats.Cost.Add(c)
+	t.finish(c, err)
+}
+
+// send enqueues a task on shard i, blocking when the shard's buffer is
+// full (backpressure). It fails with ErrClosed after Close.
+func (s *Scheduler) send(i int, t task) error {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.workers[i].reqs <- t
+	return nil
+}
+
+// Shards returns the shard count.
+func (s *Scheduler) Shards() int { return len(s.workers) }
+
+// Machines returns the total machine pool size.
+func (s *Scheduler) Machines() int {
+	last := s.workers[len(s.workers)-1]
+	return last.base + last.machines
+}
+
+// Active returns the number of committed active jobs.
+func (s *Scheduler) Active() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.active
+}
+
+// Insert adds a job synchronously. Implements sched.Scheduler.
+func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
+	return s.Apply(jobs.Request{Kind: jobs.Insert, Name: j.Name, Window: j.Window})
+}
+
+// Delete removes a job synchronously. Implements sched.Scheduler.
+func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
+	return s.Apply(jobs.DeleteReq(name))
+}
+
+// Apply serves one request synchronously: it returns after the owning
+// shard worker has executed the request (including any overflow hop).
+func (s *Scheduler) Apply(r jobs.Request) (metrics.Cost, error) {
+	type response struct {
+		cost metrics.Cost
+		err  error
+	}
+	ch := make(chan response, 1)
+	if err := s.dispatch(r, func(c metrics.Cost, err error) { ch <- response{c, err} }); err != nil {
+		return metrics.Cost{}, err
+	}
+	resp := <-ch
+	return resp.cost, resp.err
+}
+
+// Submit enqueues one request and returns immediately; the result is
+// folded into the shard report and Drain's error summary. Submit blocks
+// only when the owning shard's buffer is full. Requests touching the
+// same job name must not be in flight concurrently (Drain between an
+// async insert and a delete of the same name); requests for different
+// names are unordered across shards by design.
+func (s *Scheduler) Submit(r jobs.Request) error {
+	s.pendAdd()
+	err := s.dispatch(r, func(_ metrics.Cost, err error) {
+		if err != nil {
+			s.recordAsyncErr(r, err)
+		}
+		s.pendDone()
+	})
+	if err != nil {
+		s.pendDone()
+		return err
+	}
+	return nil
+}
+
+func (s *Scheduler) pendAdd() {
+	s.pendMu.Lock()
+	s.pendN++
+	s.pendMu.Unlock()
+}
+
+func (s *Scheduler) pendDone() {
+	s.pendMu.Lock()
+	s.pendN--
+	if s.pendN == 0 {
+		s.pendCond.Broadcast()
+	}
+	s.pendMu.Unlock()
+}
+
+func (s *Scheduler) pendWait() {
+	s.pendMu.Lock()
+	for s.pendN > 0 {
+		s.pendCond.Wait()
+	}
+	s.pendMu.Unlock()
+}
+
+// Drain blocks until every outstanding Submit has been served, then
+// reports asynchronous failures: nil if all succeeded, otherwise an
+// error summarizing the count and the first few failures. The failure
+// log resets on return.
+func (s *Scheduler) Drain() error {
+	s.pendWait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.errCount == 0 {
+		return nil
+	}
+	err := fmt.Errorf("shard: %d async request(s) failed, first: %w", s.errCount, s.asyncErrs[0])
+	s.asyncErrs = nil
+	s.errCount = 0
+	return err
+}
+
+const maxRetainedErrs = 16
+
+func (s *Scheduler) recordAsyncErr(r jobs.Request, err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	s.errCount++
+	if len(s.asyncErrs) < maxRetainedErrs {
+		s.asyncErrs = append(s.asyncErrs, fmt.Errorf("%s: %w", r, err))
+	}
+}
+
+// dispatch validates, reserves (for inserts), routes, and enqueues one
+// request. finish runs exactly once with the request's final outcome —
+// on a worker goroutine, so it must not block on scheduler operations.
+func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case jobs.Insert:
+		return s.dispatchInsert(r, finish)
+	case jobs.Delete:
+		return s.dispatchDelete(r, finish)
+	default:
+		return fmt.Errorf("shard: unknown request kind %d", r.Kind)
+	}
+}
+
+func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, error)) error {
+	s.mu.Lock()
+	if _, dup := s.byJob[r.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", sched.ErrDuplicateJob, r.Name)
+	}
+	s.byJob[r.Name] = reservedShard
+	s.mu.Unlock()
+
+	primary := s.policy.Route(r.Name, len(s.workers))
+	err := s.send(primary, task{req: r, retryable: len(s.workers) > 1, finish: func(c metrics.Cost, err error) {
+		if err != nil && errors.Is(err, sched.ErrInfeasible) && len(s.workers) > 1 {
+			// Primary shard is locally overallocated: overflow to the
+			// least-loaded shard. The hop runs on a fresh goroutine so
+			// shard workers never block sending to each other.
+			if fb := s.leastLoaded(primary); fb != primary {
+				go s.overflow(r, fb, finish)
+				return
+			}
+		}
+		s.commitInsert(r.Name, primary, err)
+		finish(c, err)
+	}})
+	if err != nil {
+		s.unreserve(r.Name)
+		return err
+	}
+	return nil
+}
+
+// overflow retries a rejected insert on shard fb.
+func (s *Scheduler) overflow(r jobs.Request, fb int, finish func(metrics.Cost, error)) {
+	err := s.send(fb, task{req: r, overflow: true, finish: func(c metrics.Cost, err error) {
+		s.commitInsert(r.Name, fb, err)
+		finish(c, err)
+	}})
+	if err != nil {
+		s.unreserve(r.Name)
+		finish(metrics.Cost{}, err)
+	}
+}
+
+func (s *Scheduler) commitInsert(name string, shardIdx int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		delete(s.byJob, name)
+		return
+	}
+	s.byJob[name] = shardIdx
+	s.active++
+}
+
+func (s *Scheduler) unreserve(name string) {
+	s.mu.Lock()
+	delete(s.byJob, name)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) dispatchDelete(r jobs.Request, finish func(metrics.Cost, error)) error {
+	s.mu.RLock()
+	idx, ok := s.byJob[r.Name]
+	s.mu.RUnlock()
+	if !ok || idx == reservedShard {
+		return fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
+	}
+	return s.send(idx, task{req: r, finish: func(c metrics.Cost, err error) {
+		if err == nil {
+			s.mu.Lock()
+			delete(s.byJob, r.Name)
+			s.active--
+			s.mu.Unlock()
+		}
+		finish(c, err)
+	}})
+}
+
+// leastLoaded returns the shard with the fewest committed jobs per
+// machine, excluding shard `not` (ties to the lowest index).
+func (s *Scheduler) leastLoaded(not int) int {
+	load := make([]int, len(s.workers))
+	s.mu.RLock()
+	for _, idx := range s.byJob {
+		if idx >= 0 {
+			load[idx]++
+		}
+	}
+	s.mu.RUnlock()
+	best, bestLoad := not, -1.0
+	for i, w := range s.workers {
+		if i == not {
+			continue
+		}
+		l := float64(load[i]) / float64(w.machines)
+		if bestLoad < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// each runs fn on every shard worker goroutine and waits for all of
+// them; fn must not call back into the Scheduler's request paths. Even
+// when a send fails (scheduler closed mid-call), each waits for the
+// control tasks already queued — workers drain their buffers before
+// exiting — so fn never runs after each returns.
+func (s *Scheduler) each(fn func(shardIdx int, inner sched.Scheduler, st *metrics.ShardCost)) error {
+	var wg sync.WaitGroup
+	var firstErr error
+	for i := range s.workers {
+		i := i
+		wg.Add(1)
+		err := s.send(i, task{ctrlDone: &wg, ctrl: func(inner sched.Scheduler, st *metrics.ShardCost) {
+			fn(i, inner, st)
+		}})
+		if err != nil {
+			wg.Done()
+			firstErr = err
+			break
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Assignment returns a snapshot of the global schedule, with per-shard
+// machine indices remapped into the global machine range.
+func (s *Scheduler) Assignment() jobs.Assignment {
+	out := make(jobs.Assignment)
+	var mu sync.Mutex
+	_ = s.each(func(i int, inner sched.Scheduler, _ *metrics.ShardCost) {
+		base := s.workers[i].base
+		local := inner.Assignment()
+		mu.Lock()
+		for name, p := range local {
+			out[name] = jobs.Placement{Machine: base + p.Machine, Slot: p.Slot}
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// Jobs returns a snapshot of the active job set.
+func (s *Scheduler) Jobs() []jobs.Job {
+	var out []jobs.Job
+	var mu sync.Mutex
+	_ = s.each(func(_ int, inner sched.Scheduler, _ *metrics.ShardCost) {
+		js := inner.Jobs()
+		mu.Lock()
+		out = append(out, js...)
+		mu.Unlock()
+	})
+	return out
+}
+
+// Report returns the shard-aware cost report: per-shard totals of
+// requests, failures, overflow hops, batches, and costs.
+func (s *Scheduler) Report() metrics.ShardReport {
+	rep := metrics.ShardReport{Shards: make([]metrics.ShardCost, len(s.workers))}
+	_ = s.each(func(i int, inner sched.Scheduler, st *metrics.ShardCost) {
+		snap := *st
+		snap.Active = inner.Active()
+		rep.Shards[i] = snap
+	})
+	return rep
+}
+
+// SelfCheck validates every shard's internal invariants plus the
+// front-end's routing table. Implements sched.Scheduler.
+func (s *Scheduler) SelfCheck() error {
+	errs := make([]error, len(s.workers))
+	routed := make([]map[string]bool, len(s.workers))
+	if err := s.each(func(i int, inner sched.Scheduler, _ *metrics.ShardCost) {
+		if err := inner.SelfCheck(); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		names := make(map[string]bool)
+		for _, j := range inner.Jobs() {
+			names[j.Name] = true
+		}
+		routed[i] = names
+	}); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	committed := 0
+	for name, idx := range s.byJob {
+		if idx == reservedShard {
+			continue
+		}
+		committed++
+		if !routed[idx][name] {
+			return fmt.Errorf("shard: job %q routed to shard %d but not present there", name, idx)
+		}
+	}
+	total := 0
+	for _, names := range routed {
+		total += len(names)
+	}
+	if total != committed {
+		return fmt.Errorf("shard: %d jobs on shards, %d committed in routing table", total, committed)
+	}
+	if committed != s.active {
+		return fmt.Errorf("shard: active count %d, routing table holds %d", s.active, committed)
+	}
+	return nil
+}
+
+// Close drains outstanding asynchronous requests, stops every shard
+// worker, and releases the request channels. Requests after Close fail
+// with ErrClosed. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.pendWait()
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, w := range s.workers {
+		close(w.reqs)
+	}
+	s.sendMu.Unlock()
+	for _, w := range s.workers {
+		<-w.done
+	}
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+// TestConcurrentStress hammers one sharded scheduler from many
+// goroutines — mixing the synchronous Apply path with the asynchronous
+// Submit path — and cross-checks the final assignment against the
+// external feasibility verifier. Run with -race (CI does).
+func TestConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 12
+		machines   = 8
+		shards     = 4
+	)
+	steps := 6000
+	if testing.Short() {
+		steps = 1500
+	}
+	g, err := workload.NewGenerator(workload.Config{
+		Seed: 42, Machines: machines, Gamma: 8, Horizon: 1 << 14, Steps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Sequence()
+
+	s := New(Config{Shards: shards, Machines: machines, Factory: stackFactory})
+	defer s.Close()
+
+	// Partition the sequence by job name so each goroutine replays its
+	// jobs' inserts and deletes in order; across goroutines requests
+	// are unsynchronized and hit the shards concurrently.
+	lanes := make([][]jobs.Request, goroutines)
+	for _, r := range reqs {
+		lane := int(hash64(r.Name) % uint64(goroutines))
+		lanes[lane] = append(lanes[lane], r)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for lane, rs := range lanes {
+		wg.Add(1)
+		go func(lane int, rs []jobs.Request) {
+			defer wg.Done()
+			// Names whose insert failed (shard-locally infeasible even
+			// after overflow) or was dropped with it; their deletes
+			// must be skipped.
+			failed := make(map[string]bool)
+			for i, r := range rs {
+				if r.Kind == jobs.Delete && failed[r.Name] {
+					continue
+				}
+				// Inserts always go through the sync path so a later
+				// delete of the same name (same lane, by the name
+				// partition) finds it settled; deletes alternate
+				// between the sync and async paths.
+				if r.Kind == jobs.Insert {
+					if _, err := s.Apply(r); err != nil {
+						failed[r.Name] = true
+					}
+					continue
+				}
+				if i%2 == 0 {
+					if _, err := s.Apply(r); err != nil {
+						errCh <- fmt.Errorf("lane %d: %s: %w", lane, r, err)
+						return
+					}
+				} else if err := s.Submit(r); err != nil {
+					errCh <- fmt.Errorf("lane %d: submit %s: %w", lane, r, err)
+					return
+				}
+			}
+		}(lane, rs)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if err := s.Drain(); err != nil {
+		// Async deletes may race an earlier failed insert; only report
+		// drain errors when no insert ever failed.
+		t.Logf("drain: %v", err)
+	}
+
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("SelfCheck after stress: %v", err)
+	}
+	js, asg := s.Jobs(), s.Assignment()
+	if len(js) != len(asg) {
+		t.Fatalf("%d active jobs but %d placements", len(js), len(asg))
+	}
+	if err := feasible.VerifySchedule(js, asg, s.Machines()); err != nil {
+		t.Fatalf("VerifySchedule after stress: %v", err)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	if tot.Requests == 0 {
+		t.Fatal("no requests reached the shards")
+	}
+	t.Logf("stress report:\n%s", rep)
+}
+
+// TestConcurrentSubmitOnly floods the async path from many goroutines
+// with disjoint name spaces, then drains and verifies.
+func TestConcurrentSubmitOnly(t *testing.T) {
+	const goroutines = 8
+	per := 300
+	if testing.Short() {
+		per = 60
+	}
+	s := New(Config{Shards: 8, Machines: 8, Factory: stackFactory})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				name := fmt.Sprintf("g%d-j%04d", gi, i)
+				if err := s.Submit(jobs.InsertReq(name, 0, 1<<14)); err != nil {
+					t.Errorf("submit %s: %v", name, err)
+					return
+				}
+				if i%3 == 2 {
+					// Settle this goroutine's outstanding inserts, then
+					// delete one of its own jobs via the sync path.
+					if err := s.Drain(); err != nil {
+						t.Errorf("drain: %v", err)
+						return
+					}
+					victim := fmt.Sprintf("g%d-j%04d", gi, i-2)
+					if _, err := s.Delete(victim); err != nil {
+						t.Errorf("delete %s: %v", victim, err)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	if err := s.Drain(); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("SelfCheck: %v", err)
+	}
+	if err := feasible.VerifySchedule(s.Jobs(), s.Assignment(), s.Machines()); err != nil {
+		t.Fatalf("VerifySchedule: %v", err)
+	}
+	wantActive := goroutines * (per - per/3)
+	if got := s.Active(); got != wantActive {
+		t.Fatalf("Active() = %d, want %d", got, wantActive)
+	}
+}

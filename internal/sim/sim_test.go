@@ -9,8 +9,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("%d experiments registered, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("%d experiments registered, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -44,7 +44,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
+	if len(tables) != 16 {
 		t.Fatalf("%d tables", len(tables))
 	}
 	for _, tab := range tables {
@@ -141,5 +141,28 @@ func TestTableCSV(t *testing.T) {
 	want := "x,y\n1,\"a,b\"\n"
 	if buf.String() != want {
 		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestE16ShardedParity(t *testing.T) {
+	e, _ := ByID("E16")
+	tab, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want sequential + sharded-{1,4,8}", len(tab.Rows))
+	}
+	// No configuration may fail requests on the underallocated mixed
+	// workload... except shard-local overflow exhaustion, which the
+	// experiment itself bounds; here just require most requests served.
+	for _, row := range tab.Rows {
+		served, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served == 0 {
+			t.Errorf("%s served no requests", row[0])
+		}
 	}
 }

@@ -141,6 +141,101 @@ func Cloud(cfg CloudConfig) ([]jobs.Request, error) {
 	return reqs, nil
 }
 
+// MixedConfig parameterizes the mixed production workload: wide batch
+// jobs, narrow deadline-driven service jobs, and steady insert/delete
+// churn, all γ-underallocated by construction so any scheduler stack in
+// this repository (and every shard of the sharded front-end, in
+// expectation) can serve it.
+type MixedConfig struct {
+	Seed     int64
+	Machines int   // pool size (default 4)
+	Gamma    int64 // slack enforced by construction (default 8)
+	Horizon  int64 // schedule horizon, power of two (default 4096)
+	Steps    int   // number of requests (default 4000)
+}
+
+func (c *MixedConfig) fill() error {
+	if c.Machines == 0 {
+		c.Machines = 4
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 4096
+	}
+	if c.Steps == 0 {
+		c.Steps = 4000
+	}
+	if c.Machines < 2 {
+		// Each class gets its own machine share of the underallocation
+		// budget; with a single machine the two shares would double-book
+		// it and the sequence would no longer be underallocated.
+		return fmt.Errorf("workload: mixed scenario needs >= 2 machines (got %d)", c.Machines)
+	}
+	if !mathx.IsPow2(c.Horizon) {
+		return fmt.Errorf("workload: mixed horizon %d must be a power of two", c.Horizon)
+	}
+	return nil
+}
+
+// Mixed generates the mixed scenario by alternating two underallocated
+// generators over a shared horizon: a batch class with wide windows
+// (span Horizon/8 .. Horizon) and a service class with narrow windows
+// (span 1 .. Horizon/64). Batch jobs dominate the population, service
+// jobs dominate the request rate — the shape of a pool serving long
+// batch work under a stream of deadline-driven requests.
+func Mixed(cfg MixedConfig) ([]jobs.Request, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	narrowMax := cfg.Horizon / 64
+	if narrowMax < 1 {
+		narrowMax = 1
+	}
+	wideMin := cfg.Horizon / 8
+	if wideMin < 1 {
+		wideMin = 1
+	}
+	// Split the machine budget so each class is underallocated on its
+	// own share of the pool; the merged sequence is then underallocated
+	// for the whole pool.
+	wideMachines := cfg.Machines / 2
+	narrowMachines := cfg.Machines - wideMachines
+	wide, err := NewGenerator(Config{
+		Seed: cfg.Seed, Machines: wideMachines, Gamma: cfg.Gamma,
+		Horizon: cfg.Horizon, MinSpan: wideMin, MaxSpan: cfg.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	narrow, err := NewGenerator(Config{
+		Seed: cfg.Seed + 1, Machines: narrowMachines, Gamma: cfg.Gamma,
+		Horizon: cfg.Horizon, MinSpan: 1, MaxSpan: narrowMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	reqs := make([]jobs.Request, 0, cfg.Steps)
+	for len(reqs) < cfg.Steps {
+		// 1-in-4 requests touch the batch class; renaming keeps the two
+		// generators' job namespaces disjoint.
+		if rng.Intn(4) == 0 {
+			reqs = append(reqs, renamed(wide.Next(), "batch-"))
+		} else {
+			reqs = append(reqs, renamed(narrow.Next(), "svc-"))
+		}
+	}
+	return reqs, nil
+}
+
+// renamed prefixes the request's job name with the class tag.
+func renamed(r jobs.Request, prefix string) jobs.Request {
+	r.Name = prefix + r.Name
+	return r
+}
+
 // SlidingConfig parameterizes a moving-horizon workload: the request
 // clock advances and jobs book windows relative to "now", modeling a
 // schedule that is always changing at its leading edge (the paper's

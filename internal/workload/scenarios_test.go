@@ -120,3 +120,62 @@ func TestScenariosDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestMixedScenario(t *testing.T) {
+	reqs, err := Mixed(MixedConfig{Seed: 5, Machines: 8, Horizon: 1 << 13, Steps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3000 {
+		t.Fatalf("len = %d, want 3000", len(reqs))
+	}
+	replayWellFormed(t, reqs)
+	batch, svc := 0, 0
+	for _, r := range reqs {
+		if r.Kind != jobs.Insert {
+			continue
+		}
+		switch {
+		case len(r.Name) > 6 && r.Name[:6] == "batch-":
+			batch++
+			if r.Window.Span() < (1<<13)/8 {
+				t.Errorf("batch window %v narrower than Horizon/8", r.Window)
+			}
+		case len(r.Name) > 4 && r.Name[:4] == "svc-":
+			svc++
+			if r.Window.Span() > (1<<13)/64 {
+				t.Errorf("service window %v wider than Horizon/64", r.Window)
+			}
+		default:
+			t.Fatalf("unclassified job name %q", r.Name)
+		}
+	}
+	if batch == 0 || svc == 0 {
+		t.Fatalf("batch=%d svc=%d: both classes must appear", batch, svc)
+	}
+	if svc < batch {
+		t.Errorf("batch=%d svc=%d: service requests should dominate the rate", batch, svc)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	if _, err := Mixed(MixedConfig{Horizon: 1000}); err == nil {
+		t.Error("non-pow2 horizon accepted")
+	}
+	if _, err := Mixed(MixedConfig{Machines: 1}); err == nil {
+		t.Error("single machine accepted: the class split would double-book its budget")
+	}
+}
+
+func TestMixedDeterministic(t *testing.T) {
+	a, _ := Mixed(MixedConfig{Seed: 7})
+	b, _ := Mixed(MixedConfig{Seed: 7})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}

@@ -24,6 +24,19 @@
 // independently available via options, and the classical baselines the
 // paper compares against (naive pecking order, EDF/LLF recompute) are
 // exposed as NewNaive and NewEDF.
+//
+// Schedulers built by New are single-threaded. For concurrent callers,
+// NewSharded builds a thread-safe front-end that partitions the machine
+// pool into shards — each one an independent Theorem 1 stack behind a
+// worker goroutine — and routes requests by consistent hashing of the
+// job name, overflowing infeasible inserts to the least-loaded shard:
+//
+//	s := realloc.NewSharded(realloc.WithMachines(8), realloc.WithShards(4))
+//	defer s.Close()
+//	cost, err := s.Insert(realloc.Job{Name: "batch-1", Window: realloc.Win(0, 64)})
+//	_ = s.Submit(realloc.InsertReq("batch-2", 0, 64)) // async path
+//	err = s.Drain()
+//	report := s.Report() // per-shard cost breakdown
 package realloc
 
 import (
@@ -36,6 +49,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/naive"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/trim"
 )
 
@@ -56,6 +70,14 @@ type (
 	// Scheduler is the common interface of every scheduler in this
 	// module.
 	Scheduler = sched.Scheduler
+	// Sharded is the concurrent sharded front-end built by NewSharded:
+	// a Scheduler that is safe for concurrent use, plus the async
+	// Submit/Drain path, the per-shard Report, and Close.
+	Sharded = shard.Scheduler
+	// ShardPolicy routes job names to primary shards; see WithShardPolicy.
+	ShardPolicy = shard.Policy
+	// ShardReport is the per-shard cost breakdown of a Sharded scheduler.
+	ShardReport = metrics.ShardReport
 )
 
 // Re-exported sentinel errors.
@@ -81,13 +103,16 @@ func InsertReq(name string, start, end int64) Request { return jobs.InsertReq(na
 // DeleteReq builds a delete request.
 func DeleteReq(name string) Request { return jobs.DeleteReq(name) }
 
-// Options configure New.
+// Options configure New and NewSharded.
 type Options struct {
 	machines   int
 	gamma      int64
 	align      bool
 	trim       bool
 	deamortize bool
+	shards     int
+	policy     shard.Policy
+	buffer     int
 }
 
 // Option customizes the scheduler stack built by New.
@@ -109,6 +134,18 @@ func WithoutAlignment() Option { return func(o *Options) { o.align = false } }
 // above 2^28 are rejected to bound interval bookkeeping).
 func WithoutTrimming() Option { return func(o *Options) { o.trim = false } }
 
+// WithShards sets the shard count of NewSharded (default 4). New
+// ignores it.
+func WithShards(n int) Option { return func(o *Options) { o.shards = n } }
+
+// WithShardPolicy overrides how NewSharded routes job names to primary
+// shards (default: consistent hash ring). New ignores it.
+func WithShardPolicy(p ShardPolicy) Option { return func(o *Options) { o.policy = p } }
+
+// WithShardBuffer sets the per-shard request channel capacity of
+// NewSharded (default 256). New ignores it.
+func WithShardBuffer(n int) Option { return func(o *Options) { o.buffer = n } }
+
 // WithDeamortization replaces the amortized n*-rebuild with the paper's
 // even/odd-slot incremental rebuild: worst-case O(1) inner operations
 // per request instead of occasional O(n) rebuild spikes, at the price of
@@ -122,10 +159,56 @@ func WithDeamortization() Option {
 // alignment -> round-robin delegation over m machines -> per-machine
 // window trimming -> reservation-based pecking-order scheduling.
 func New(opts ...Option) Scheduler {
+	o := defaultOptions(opts)
+	return buildStack(o, o.machines)
+}
+
+// NewSharded builds the concurrent sharded front-end: the machine pool
+// is partitioned across WithShards(n) shards (default 4), each running
+// one Theorem 1 stack (as built by New) behind a worker goroutine and a
+// buffered request channel. Requests route to shards by consistent
+// hashing of the job name, with inserts a shard rejects as infeasible
+// overflowing to the least-loaded shard. The result is safe for
+// concurrent use; callers that are done with it should Close it to stop
+// the shard workers.
+//
+// Sharding preserves Theorem 1's per-request cost bounds within each
+// shard but enforces underallocation only shard-locally, so heavily
+// skewed instances may pay overflow hops; Report exposes the per-shard
+// breakdown.
+func NewSharded(opts ...Option) *Sharded {
+	o := defaultOptions(opts)
+	if o.shards == 0 {
+		o.shards = 4
+	}
+	if o.shards < 1 {
+		o.shards = 1
+	}
+	if o.machines < o.shards {
+		// Every shard needs at least one machine; grow the pool rather
+		// than silently dropping shards.
+		o.machines = o.shards
+	}
+	return shard.New(shard.Config{
+		Shards:   o.shards,
+		Machines: o.machines,
+		Policy:   o.policy,
+		Buffer:   o.buffer,
+		Factory:  func(machines int) sched.Scheduler { return buildStack(o, machines) },
+	})
+}
+
+func defaultOptions(opts []Option) Options {
 	o := Options{machines: 1, gamma: 8, align: true, trim: true}
 	for _, f := range opts {
 		f(&o)
 	}
+	return o
+}
+
+// buildStack composes the Theorem 1 stack over the given machine count:
+// alignment -> round-robin delegation -> trimming -> reservations.
+func buildStack(o Options, machines int) sched.Scheduler {
 	coreFactory := func() sched.Scheduler { return core.New(core.WithMaxIntervals(1 << 20)) }
 	single := coreFactory
 	if o.trim {
@@ -137,10 +220,10 @@ func New(opts ...Option) Scheduler {
 		}
 	}
 	var s sched.Scheduler
-	if o.machines == 1 {
+	if machines == 1 {
 		s = single()
 	} else {
-		s = multi.New(o.machines, multi.Factory(single))
+		s = multi.New(machines, multi.Factory(single))
 	}
 	if o.align {
 		s = alignsched.New(s)

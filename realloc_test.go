@@ -152,3 +152,70 @@ func TestStackSustainsChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNewShardedBasics(t *testing.T) {
+	s := NewSharded(WithMachines(8), WithShards(4))
+	defer s.Close()
+	if s.Machines() != 8 {
+		t.Fatalf("machines = %d", s.Machines())
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("s%03d", i)
+		if _, err := s.Insert(Job{Name: name, Window: Win(0, 1024)}); err != nil {
+			t.Fatalf("insert %s: %v", name, err)
+		}
+	}
+	if s.Active() != 60 {
+		t.Fatalf("active = %d", s.Active())
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s); err != nil {
+		t.Fatalf("Verify over sharded: %v", err)
+	}
+	rep := s.Report()
+	if tot := rep.Total(); tot.Requests != 60 || tot.Active != 60 {
+		t.Errorf("report total = %+v", tot)
+	}
+}
+
+func TestNewShardedAsyncAndOptions(t *testing.T) {
+	// One shard per machine, tiny buffer, custom policy pinning
+	// everything to shard 0.
+	s := NewSharded(WithShards(2), WithShardBuffer(4),
+		WithShardPolicy(pinPolicy{}))
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(InsertReq(fmt.Sprintf("a%02d", i), 0, 512)); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rep := s.Report()
+	if rep.Shards[0].Requests == 0 {
+		t.Error("pinning policy routed nothing to shard 0")
+	}
+	if _, err := Apply(s, DeleteReq("a00")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pinPolicy pins every job to shard 0.
+type pinPolicy struct{}
+
+func (pinPolicy) Route(string, int) int { return 0 }
+
+func TestNewShardedGrowsMachinePool(t *testing.T) {
+	// machines < shards: the pool grows so each shard owns a machine.
+	s := NewSharded(WithMachines(2), WithShards(4))
+	defer s.Close()
+	if s.Machines() != 4 {
+		t.Errorf("machines = %d, want 4 (grown to shard count)", s.Machines())
+	}
+}
