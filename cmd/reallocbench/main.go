@@ -10,6 +10,7 @@
 //	reallocbench -scenario cloud -requests 20000
 //	reallocbench -shards 1,2,4,8,16 -drivers 16 -out bench.json
 //	reallocbench -quick                   # small parameters for smoke runs
+//	reallocbench -scenario elastic        # autoscaling: elastic resize vs rebuild, BENCH_PR2.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	realloc "repro"
@@ -71,7 +73,7 @@ type ShardStats struct {
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, or sliding")
+		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, sliding, or elastic")
 		machines = flag.Int("machines", 8, "total machine pool")
 		requests = flag.Int("requests", 20000, "request count (scenario permitting)")
 		shardSet = flag.String("shards", "1,4,8", "comma-separated shard counts for the sharded runs")
@@ -84,6 +86,24 @@ func main() {
 
 	if *quick {
 		*requests = 2000
+	}
+	if *scenario == "elastic" {
+		if *out == "BENCH_PR1.json" {
+			*out = "BENCH_PR2.json"
+		}
+		// The elastic scenario benchmarks one sharded scheduler through
+		// pool resizes: it runs at the first -shards value when the flag
+		// is given explicitly, else at 4 shards.
+		elasticShards := 4
+		if shardsFlagSet() {
+			counts, err := parseShards(*shardSet)
+			if err != nil {
+				fail(err)
+			}
+			elasticShards = counts[0]
+		}
+		runElasticScenario(*seed, *machines, *requests, *drivers, elasticShards, *out)
+		return
 	}
 	reqs, err := buildScenario(*scenario, *seed, *machines, *requests)
 	if err != nil {
@@ -136,8 +156,19 @@ func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Requ
 	case "sliding":
 		return workload.Sliding(workload.SlidingConfig{Seed: seed, Steps: requests})
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, or sliding)", name)
+		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, sliding, or elastic)", name)
 	}
+}
+
+// shardsFlagSet reports whether -shards was passed explicitly.
+func shardsFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			set = true
+		}
+	})
+	return set
 }
 
 func parseShards(s string) ([]int, error) {
@@ -282,3 +313,213 @@ func fail(err error) {
 	fmt.Fprintln(os.Stderr, "reallocbench:", err)
 	os.Exit(2)
 }
+
+// --- elastic scenario: autoscaling with elastic resize vs rebuild ------------
+
+// ElasticReport is the BENCH_PR2.json document: the same autoscaling
+// workload served twice — once by the elastic resize control path, once
+// by tearing the scheduler down and rebuilding it at the new size.
+type ElasticReport struct {
+	Scenario     string       `json:"scenario"`
+	Shards       int          `json:"shards"`
+	BaseMachines int          `json:"base_machines"`
+	PeakMachines int          `json:"peak_machines"`
+	Requests     int          `json:"requests"`
+	Drivers      int          `json:"drivers"`
+	Elastic      ElasticSide  `json:"elastic"`
+	Rebuild      ElasticSide  `json:"rebuild"`
+	Resizes      []ResizeStat `json:"resizes"`
+}
+
+// ElasticSide aggregates one strategy's run.
+type ElasticSide struct {
+	Phases []PhaseStat `json:"phases"`
+	// FailedRequests must be zero for a well-formed scenario.
+	FailedRequests int `json:"failed_requests"`
+	// MovedJobs is the migration bill of the pool-size changes: evicted
+	// re-placements for the elastic side, full re-inserts for the
+	// rebuild side.
+	MovedJobs     int     `json:"moved_jobs"`
+	ResizeMillis  float64 `json:"resize_ms"`
+	WallMillis    float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// PhaseStat is one phase of one strategy.
+type PhaseStat struct {
+	Name          string  `json:"name"`
+	Machines      int     `json:"machines"`
+	Requests      int     `json:"requests"`
+	Failed        int     `json:"failed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+}
+
+// ResizeStat mirrors realloc.ResizeCost for the JSON report.
+type ResizeStat struct {
+	Shard         int `json:"shard"`
+	Delta         int `json:"delta"`
+	Evicted       int `json:"evicted"`
+	Reinserted    int `json:"reinserted"`
+	Dropped       int `json:"dropped"`
+	Reallocations int `json:"reallocations"`
+	Migrations    int `json:"migrations"`
+}
+
+func runElasticScenario(seed int64, machines, requests, drivers, shards int, out string) {
+	steps := requests / 3
+	if steps < 200 {
+		steps = 200
+	}
+	phases, err := workload.Elastic(workload.ElasticConfig{
+		Seed: seed, BaseMachines: machines, PeakMachines: 2 * machines, StepsPerPhase: steps,
+	})
+	if err != nil {
+		fail(err)
+	}
+	total := 0
+	for _, p := range phases {
+		total += len(p.Reqs)
+	}
+	rep := ElasticReport{
+		Scenario: "elastic", Shards: shards,
+		BaseMachines: machines, PeakMachines: 2 * machines,
+		Requests: total, Drivers: drivers,
+	}
+
+	// Elastic side: one scheduler, resized in place at phase boundaries.
+	es := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+	eStart := time.Now()
+	for _, p := range phases {
+		r0 := time.Now()
+		rc, err := es.Resize(p.Machines)
+		if err != nil {
+			fail(fmt.Errorf("elastic resize to %d: %w", p.Machines, err))
+		}
+		rep.Elastic.ResizeMillis += ms(time.Since(r0))
+		rep.Elastic.MovedJobs += rc.Cost.Migrations
+		ps := servePhase(es, p, drivers)
+		rep.Elastic.Phases = append(rep.Elastic.Phases, ps)
+		rep.Elastic.FailedRequests += ps.Failed
+		fmt.Printf("elastic %-7s  %2d machines  %8.0f req/s  p99 %7.1fus  fail %d  resize-migr %d\n",
+			ps.Name, ps.Machines, ps.ThroughputRPS, ps.P99LatencyUS, ps.Failed, rc.Cost.Migrations)
+	}
+	rep.Elastic.WallMillis = ms(time.Since(eStart))
+	for _, rc := range es.Report().Resizes {
+		rep.Resizes = append(rep.Resizes, ResizeStat{
+			Shard: rc.Shard, Delta: rc.Delta, Evicted: rc.Evicted,
+			Reinserted: rc.Reinserted, Dropped: rc.Dropped,
+			Reallocations: rc.Cost.Reallocations, Migrations: rc.Cost.Migrations,
+		})
+	}
+	es.Close()
+
+	// Rebuild side: same phases, but every pool-size change tears the
+	// scheduler down and re-inserts the whole active set at the new size
+	// — every resident job pays a move.
+	rs := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+	rStart := time.Now()
+	cur := machines
+	for _, p := range phases {
+		if p.Machines != cur {
+			r0 := time.Now()
+			snap := rs.Snapshot()
+			rs.Close()
+			rs = realloc.NewSharded(realloc.WithMachines(p.Machines), realloc.WithShards(shards))
+			for _, j := range snap.Jobs {
+				if _, err := rs.Insert(j); err != nil {
+					fail(fmt.Errorf("rebuild reinsert %q: %w", j.Name, err))
+				}
+			}
+			rep.Rebuild.MovedJobs += len(snap.Jobs)
+			rep.Rebuild.ResizeMillis += ms(time.Since(r0))
+			cur = p.Machines
+		}
+		ps := servePhase(rs, p, drivers)
+		rep.Rebuild.Phases = append(rep.Rebuild.Phases, ps)
+		rep.Rebuild.FailedRequests += ps.Failed
+		fmt.Printf("rebuild %-7s  %2d machines  %8.0f req/s  p99 %7.1fus  fail %d\n",
+			ps.Name, ps.Machines, ps.ThroughputRPS, ps.P99LatencyUS, ps.Failed)
+	}
+	rep.Rebuild.WallMillis = ms(time.Since(rStart))
+	rs.Close()
+
+	for i := range []int{0, 1} {
+		side := []*ElasticSide{&rep.Elastic, &rep.Rebuild}[i]
+		if side.WallMillis > 0 {
+			side.ThroughputRPS = float64(total) / (side.WallMillis / 1e3)
+		}
+	}
+
+	fmt.Printf("moved jobs at pool changes: elastic %d vs rebuild %d\n",
+		rep.Elastic.MovedJobs, rep.Rebuild.MovedJobs)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// servePhase replays one phase from `drivers` goroutines, partitioning
+// requests by job name so each job's insert/delete order is preserved
+// within its lane.
+func servePhase(s *realloc.Sharded, p workload.ElasticPhase, drivers int) PhaseStat {
+	lanes := make([][]jobs.Request, drivers)
+	for _, r := range p.Reqs {
+		h := fnv.New64a()
+		h.Write([]byte(r.Name))
+		lane := int(h.Sum64() % uint64(drivers))
+		lanes[lane] = append(lanes[lane], r)
+	}
+	laneLat := make([][]time.Duration, drivers)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for lane, rs := range lanes {
+		wg.Add(1)
+		go func(lane int, rs []jobs.Request) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, len(rs))
+			skip := make(map[string]bool)
+			for _, r := range rs {
+				if r.Kind == jobs.Delete && skip[r.Name] {
+					continue
+				}
+				t0 := time.Now()
+				_, err := s.Apply(r)
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					failed.Add(1)
+					if r.Kind == jobs.Insert {
+						skip[r.Name] = true
+					}
+				}
+			}
+			laneLat[lane] = lat
+		}(lane, rs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var lat []time.Duration
+	for _, l := range laneLat {
+		lat = append(lat, l...)
+	}
+	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
+	ps := PhaseStat{
+		Name: p.Name, Machines: p.Machines,
+		Requests: len(lat), Failed: int(failed.Load()),
+		P50LatencyUS: percentileUS(lat, 0.50),
+		P99LatencyUS: percentileUS(lat, 0.99),
+	}
+	if wall > 0 {
+		ps.ThroughputRPS = float64(len(lat)) / wall.Seconds()
+	}
+	return ps
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -1,4 +1,4 @@
-// Command reallocsim runs the repository's experiments (E1..E16 in
+// Command reallocsim runs the repository's experiments (E1..E17 in
 // DESIGN.md), each reproducing one claim of "Reallocation Problems in
 // Scheduling" (SPAA 2013), and prints the resulting tables.
 //
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment ID (E1..E16) or 'all'")
+		expID  = flag.String("exp", "all", "experiment ID (E1..E17) or 'all'")
 		quick  = flag.Bool("quick", false, "use small parameters (seconds instead of minutes)")
 		format = flag.String("format", "text", "output format: text or csv")
 		list   = flag.Bool("list", false, "list experiments and exit")

@@ -8,6 +8,10 @@
 // front-end: four submitter goroutines fire requests at a 4-shard
 // scheduler and the per-shard cost report shows how the load spread.
 //
+// The third section autoscales: the sharded pool grows for a traffic
+// burst and shrinks back afterward, with the resize bill (evictions and
+// migrations) printed next to what a rebuild-from-scratch would pay.
+//
 // Run with: go run ./examples/cloud
 package main
 
@@ -143,6 +147,79 @@ func shardedVariant() {
 	fmt.Println(s.Report())
 	fmt.Println("\nEach shard is an independent Theorem 1 stack; consistent hashing" +
 		"\nof job names spread the concurrent load above.")
+
+	autoscaleVariant()
+}
+
+// autoscaleVariant breathes the machine pool under live traffic: scale
+// up for a burst (no job moves), scale down after it drains (only the
+// drained machines' jobs move). A rebuild-from-scratch would instead
+// move every resident job at every pool change.
+func autoscaleVariant() {
+	s := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(4))
+	defer s.Close()
+	rng := rand.New(rand.NewSource(11))
+
+	var running []string
+	churn := func(steps, survivors int) {
+		for i := 0; i < steps; i++ {
+			if len(running) > survivors && rng.Intn(2) == 0 {
+				k := rng.Intn(len(running))
+				if _, err := s.Delete(running[k]); err != nil {
+					log.Fatalf("autoscale delete: %v", err)
+				}
+				running = append(running[:k], running[k+1:]...)
+				continue
+			}
+			name := fmt.Sprintf("auto-%05d", len(running)+i*7919)
+			start := rng.Int63n(horizon * 3 / 4)
+			end := start + int64(256+rng.Intn(1024))
+			if end > horizon {
+				end = horizon
+			}
+			if _, err := s.Insert(realloc.Job{Name: name, Window: realloc.Win(start, end)}); err != nil {
+				continue // a smaller pool may be momentarily full
+			}
+			running = append(running, name)
+		}
+	}
+
+	fmt.Printf("\n--- autoscaling: the pool breathes %d -> %d -> %d machines under load ---\n",
+		machines, 2*machines, machines)
+	churn(400, 60)
+	resident := s.Active()
+
+	up, err := s.Resize(2 * machines)
+	if err != nil {
+		log.Fatalf("scale-up: %v", err)
+	}
+	fmt.Printf("scale-up   to %2d machines: %3d resident jobs, %d migrations (growing moves nothing)\n",
+		s.Machines(), resident, up.Cost.Migrations)
+	churn(600, 160) // the burst
+
+	// Burst over: drain back toward the steady population, then shrink.
+	for len(running) > 60 {
+		k := rng.Intn(len(running))
+		if _, err := s.Delete(running[k]); err != nil {
+			log.Fatalf("autoscale drain: %v", err)
+		}
+		running = append(running[:k], running[k+1:]...)
+	}
+	resident = s.Active()
+	down, err := s.Resize(machines)
+	if err != nil {
+		log.Fatalf("scale-down: %v", err)
+	}
+	fmt.Printf("scale-down to %2d machines: %3d resident jobs, %d migrations (vs %d for a rebuild)\n",
+		s.Machines(), resident, down.Cost.Migrations, resident)
+	fmt.Printf("            %d jobs evicted across shards, %d re-placed, %d dropped\n",
+		down.Evicted, down.Reinserted, down.Dropped)
+
+	if err := realloc.Verify(s); err != nil {
+		log.Fatalf("autoscale verify: %v", err)
+	}
+	fmt.Println("\nShrinking moved only the drained machines' jobs — Theorem 1's" +
+		"\nmigration discipline extended to the machine pool itself.")
 }
 
 func bar(n int) string {

@@ -82,6 +82,39 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	return cost, nil
 }
 
+// AddMachines implements sched.Elastic when the inner scheduler does.
+func (s *Scheduler) AddMachines(n int) error {
+	el, ok := s.inner.(sched.Elastic)
+	if !ok {
+		return fmt.Errorf("%w: alignsched over %T", sched.ErrNotElastic, s.inner)
+	}
+	return el.AddMachines(n)
+}
+
+// RemoveMachines implements sched.Elastic when the inner scheduler
+// does. Evicted jobs are returned with their original (unaligned)
+// windows so the caller can re-place them elsewhere.
+func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
+	el, ok := s.inner.(sched.Elastic)
+	if !ok {
+		return metrics.Cost{}, nil, fmt.Errorf("%w: alignsched over %T", sched.ErrNotElastic, s.inner)
+	}
+	cost, evicted, err := el.RemoveMachines(n)
+	if err != nil {
+		return cost, nil, err
+	}
+	out := make([]jobs.Job, 0, len(evicted))
+	for _, j := range evicted {
+		orig, ok := s.originals[j.Name]
+		if !ok {
+			return cost, out, fmt.Errorf("alignsched: evicted job %q has no tracked original window", j.Name)
+		}
+		out = append(out, jobs.Job{Name: j.Name, Window: orig})
+		delete(s.originals, j.Name)
+	}
+	return cost, out, nil
+}
+
 // SelfCheck validates the wrapper and the inner scheduler.
 func (s *Scheduler) SelfCheck() error {
 	if err := s.inner.SelfCheck(); err != nil {

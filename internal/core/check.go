@@ -16,6 +16,15 @@ func (s *Scheduler) SelfCheck() error {
 	if s.poisoned != nil {
 		return s.poisoned
 	}
+	return s.selfCheck()
+}
+
+// Poisoned implements sched.Poisoner: the sticky failure a mid-request
+// insert error leaves behind, or nil while the scheduler is usable.
+// Wrappers use it to tell a clean rejection from a broken scheduler.
+func (s *Scheduler) Poisoned() error { return s.poisoned }
+
+func (s *Scheduler) selfCheck() error {
 	// Jobs <-> slots agreement; every job inside its window.
 	if len(s.jobs) != len(s.slots) {
 		return fmt.Errorf("core: %d jobs but %d occupied slots", len(s.jobs), len(s.slots))

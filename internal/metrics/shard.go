@@ -32,16 +32,65 @@ type ShardCost struct {
 	// Batches is the number of channel drains the shard worker
 	// performed; Requests/Batches is the mean pipeline batch size.
 	Batches int
+	// ResizeEvicted is the number of jobs pool resizes drained off this
+	// shard that its surviving machines could not absorb.
+	ResizeEvicted int
+	// ResizeAbsorbed is the number of resize-evicted jobs from other
+	// shards this shard took in.
+	ResizeAbsorbed int
 	// Active is the shard's active job count at report time.
 	Active int
 	// Cost is the shard's total reallocation/migration cost.
 	Cost Cost
 }
 
+// ResizeCost is the price of one elastic machine-pool resize of a
+// sharded scheduler. It is the resize analogue of Cost: growing is
+// free (no job moves), shrinking pays at most one migration per job
+// that lived on a drained machine.
+type ResizeCost struct {
+	// Shard is the resized shard, or -1 for a pool-wide Resize.
+	Shard int
+	// Delta is the machine-count change (positive = grow).
+	Delta int
+	// Evicted is how many jobs the shrunken shard could not keep.
+	Evicted int
+	// Reinserted is how many evicted jobs another shard absorbed.
+	Reinserted int
+	// Dropped is how many evicted jobs no shard could absorb; they left
+	// the scheduler entirely.
+	Dropped int
+	// Cost is the total reallocation/migration price of the resize:
+	// intra-shard re-placements plus one migration per cross-shard move.
+	Cost Cost
+}
+
+// Add folds o into r (for aggregating per-shard resizes into a
+// pool-wide total).
+func (r *ResizeCost) Add(o ResizeCost) {
+	r.Delta += o.Delta
+	r.Evicted += o.Evicted
+	r.Reinserted += o.Reinserted
+	r.Dropped += o.Dropped
+	r.Cost.Add(o.Cost)
+}
+
 // ShardReport is the shard-aware cost report of a sharded scheduler:
-// per-shard aggregates plus module-wide totals.
+// per-shard aggregates, the resize history, plus module-wide totals.
 type ShardReport struct {
 	Shards []ShardCost
+	// Resizes is the history of elastic pool resizes, oldest first.
+	Resizes []ResizeCost
+}
+
+// ResizeTotal aggregates the resize history (Shard is -1 in the
+// result).
+func (r ShardReport) ResizeTotal() ResizeCost {
+	t := ResizeCost{Shard: -1}
+	for _, rc := range r.Resizes {
+		t.Add(rc)
+	}
+	return t
 }
 
 // Total sums the per-shard aggregates.
@@ -55,6 +104,8 @@ func (r ShardReport) Total() ShardCost {
 		t.Rerouted += s.Rerouted
 		t.Overflow += s.Overflow
 		t.Batches += s.Batches
+		t.ResizeEvicted += s.ResizeEvicted
+		t.ResizeAbsorbed += s.ResizeAbsorbed
 		t.Active += s.Active
 		t.Cost.Add(s.Cost)
 	}
@@ -101,5 +152,11 @@ func (r ShardReport) String() string {
 	fmt.Fprintf(&b, "total:   machines=%d active=%d served=%d fail=%d rerouted=%d overflow=%d realloc=%d migr=%d imbalance=%.2f",
 		t.Machines, t.Active, r.Served(), t.Failures, t.Rerouted, t.Overflow,
 		t.Cost.Reallocations, t.Cost.Migrations, r.Imbalance())
+	if len(r.Resizes) > 0 {
+		rt := r.ResizeTotal()
+		fmt.Fprintf(&b, "\nresizes: %d (net delta %+d) evicted=%d reinserted=%d dropped=%d realloc=%d migr=%d",
+			len(r.Resizes), rt.Delta, rt.Evicted, rt.Reinserted, rt.Dropped,
+			rt.Cost.Reallocations, rt.Cost.Migrations)
+	}
 	return b.String()
 }

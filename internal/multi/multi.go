@@ -2,19 +2,28 @@
 // m-machine to single-machine reallocation scheduling for recursively
 // aligned jobs.
 //
-// For every window W the wrapper records the number n_W of active jobs
-// with exactly that window and delegates jobs round-robin: the job that
-// arrives when the count is n_W goes to machine n_W mod m, so every
-// machine holds either floor(n_W/m) or ceil(n_W/m) jobs of window W,
-// with the extras on the earliest machines. When a job with window W is
-// deleted from machine i, one W-job is taken from the machine holding
-// the most recently delegated extra (machine (n_W - 1) mod m) and
-// migrated to machine i, restoring the invariant with at most one
-// migration per request (Theorem 1's migration bound).
+// For every window W the wrapper keeps the active W-jobs balanced
+// across machines: every machine holds either floor(n_W/m) or
+// ceil(n_W/m) jobs of window W. Inserts delegate to a machine holding
+// the fewest W-jobs (ties to the lowest index), which preserves the
+// balance at zero migrations; when a delete breaks the balance, one
+// W-job migrates from a machine holding the most W-jobs to the machine
+// that lost one, restoring it with at most one migration per request
+// (Theorem 1's migration bound). The original paper phrases this as a
+// round-robin counter; the least-loaded formulation maintains the same
+// floor/ceil invariant while tolerating a machine pool that changes
+// size at runtime.
 //
 // Lemma 3 guarantees that when the overall instance is 6γ-underallocated,
 // each per-machine instance is γ-underallocated, so the single-machine
 // schedulers keep working.
+//
+// The pool is elastic (sched.Elastic): AddMachines appends fresh empty
+// machines without moving any job — per-window balance may then exceed
+// floor/ceil by a bounded, recorded skew that subsequent deletes repair
+// one migration at a time — and RemoveMachines drains the last n
+// machines, re-placing each drained job on a surviving machine (one
+// migration each) or evicting it if no machine can take it.
 package multi
 
 import (
@@ -36,19 +45,30 @@ type winKey struct {
 
 func (k winKey) window() jobs.Window { return jobs.Window{Start: k.start, End: k.start + k.span} }
 
-// Scheduler delegates aligned jobs round-robin across m single-machine
-// schedulers.
+// Scheduler delegates aligned jobs across m single-machine schedulers,
+// keeping each window's jobs balanced.
 type Scheduler struct {
+	factory  Factory
 	machines []sched.Scheduler
-	counts   map[winKey]int         // n_W
 	byJob    map[string]int         // job -> machine index
 	windows  map[string]winKey      // job -> window key
 	perWin   map[winKey][]stringSet // per machine: names of W-jobs
+	// skewCap relaxes the floor/ceil balance invariant for windows that
+	// were unbalanced by a pool resize: after AddMachines the new
+	// machines hold no jobs, so a window's per-machine spread may exceed
+	// 1. The cap records the spread at resize time; operations only ever
+	// shrink the spread (inserts fill valleys, deletes repair one unit),
+	// so the cap decays back to the strict invariant without bulk
+	// migrations.
+	skewCap map[winKey]int
 }
 
 type stringSet map[string]struct{}
 
-var _ sched.Scheduler = (*Scheduler)(nil)
+var (
+	_ sched.Scheduler = (*Scheduler)(nil)
+	_ sched.Elastic   = (*Scheduler)(nil)
+)
 
 // New builds an m-machine wrapper.
 func New(m int, factory Factory) *Scheduler {
@@ -56,11 +76,12 @@ func New(m int, factory Factory) *Scheduler {
 		panic(fmt.Sprintf("multi: %d machines", m))
 	}
 	s := &Scheduler{
+		factory:  factory,
 		machines: make([]sched.Scheduler, m),
-		counts:   make(map[winKey]int),
 		byJob:    make(map[string]int),
 		windows:  make(map[string]winKey),
 		perWin:   make(map[winKey][]stringSet),
+		skewCap:  make(map[winKey]int),
 	}
 	for i := range s.machines {
 		s.machines[i] = factory()
@@ -68,7 +89,7 @@ func New(m int, factory Factory) *Scheduler {
 	return s
 }
 
-// Machines returns m.
+// Machines returns the current machine count.
 func (s *Scheduler) Machines() int { return len(s.machines) }
 
 // Active returns the number of active jobs.
@@ -95,7 +116,29 @@ func (s *Scheduler) Assignment() jobs.Assignment {
 	return out
 }
 
-// Insert delegates the job to machine (n_W mod m).
+// count returns how many key-jobs machine i holds.
+func (s *Scheduler) count(sets []stringSet, i int) int {
+	if i >= len(sets) {
+		return 0
+	}
+	return len(sets[i])
+}
+
+// leastLoaded returns the machine among [0, limit) holding the fewest
+// key-jobs, ties to the lowest index.
+func (s *Scheduler) leastLoaded(key winKey, limit int) int {
+	sets := s.perWin[key]
+	best, bestN := 0, -1
+	for i := 0; i < limit; i++ {
+		n := s.count(sets, i)
+		if bestN < 0 || n < bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// Insert delegates the job to a machine holding the fewest W-jobs.
 func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if err := j.Validate(); err != nil {
 		return metrics.Cost{}, err
@@ -107,21 +150,22 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
 	key := winKey{start: j.Window.Start, span: j.Window.Span()}
-	idx := s.counts[key] % len(s.machines)
+	idx := s.leastLoaded(key, len(s.machines))
 	cost, err := s.machines[idx].Insert(j)
 	if err != nil {
+		if rerr := s.recoverMachine(idx); rerr != nil {
+			return cost, rerr
+		}
 		return cost, err
 	}
-	s.counts[key]++
-	s.byJob[j.Name] = idx
-	s.windows[j.Name] = key
-	s.ensurePerWin(key)[idx][j.Name] = struct{}{}
+	s.commit(j.Name, key, idx)
+	s.settleSkew(key)
 	return cost, nil
 }
 
-// Delete removes a job; if the round-robin balance breaks, one W-job
-// migrates from the machine holding the newest extra to the machine that
-// lost a job (at most one migration).
+// Delete removes a job; if the balance breaks (some machine holds two
+// more W-jobs than the one that lost a job), one W-job migrates to the
+// emptier machine (at most one migration).
 func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	idx, ok := s.byJob[name]
 	if !ok {
@@ -132,42 +176,174 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	if err != nil {
 		return cost, err
 	}
-	s.counts[key]--
 	s.forget(name, key, idx)
 
-	last := s.counts[key] % len(s.machines)
-	if last == idx || s.counts[key] == 0 {
+	// Repair: pull one W-job from a fullest machine if it holds two more
+	// than the machine that just lost a job.
+	sets := s.perWin[key]
+	from, fromN := -1, 0
+	for i := range s.machines {
+		if n := s.count(sets, i); n > fromN {
+			from, fromN = i, n
+		}
+	}
+	if from < 0 || fromN < s.count(sets, idx)+2 {
+		s.settleSkew(key)
 		return cost, nil
 	}
-	// Migrate one W-job from machine `last` to machine `idx`.
-	mover, ok := s.anyJobOn(key, last)
+	mover, ok := s.anyJobOn(key, from)
 	if !ok {
-		return cost, fmt.Errorf("multi: balance invariant broken: no %v job on machine %d", key.window(), last)
+		return cost, fmt.Errorf("multi: balance invariant broken: no %v job on machine %d", key.window(), from)
 	}
-	dc, err := s.machines[last].Delete(mover)
+	dc, err := s.machines[from].Delete(mover)
 	if err != nil {
 		return cost, fmt.Errorf("multi: migration delete of %q failed: %w", mover, err)
 	}
 	cost.Add(dc)
 	ic, err := s.machines[idx].Insert(jobs.Job{Name: mover, Window: key.window()})
 	if err != nil {
+		if rerr := s.recoverMachine(idx); rerr != nil {
+			return cost, rerr
+		}
 		return cost, fmt.Errorf("multi: migration insert of %q failed: %w", mover, err)
 	}
 	cost.Add(ic)
 	cost.Migrations++ // the mover crossed machines
-	s.forget(mover, key, last)
-	s.byJob[mover] = idx
-	s.windows[mover] = key
-	s.ensurePerWin(key)[idx][mover] = struct{}{}
+	s.forget(mover, key, from)
+	s.commit(mover, key, idx)
+	s.settleSkew(key)
 	return cost, nil
+}
+
+// AddMachines implements sched.Elastic: n fresh machines join the pool
+// and no job moves. Windows whose spread now exceeds floor/ceil get a
+// recorded skew allowance that later deletes repair migration by
+// migration.
+func (s *Scheduler) AddMachines(n int) error {
+	if n < 1 {
+		return fmt.Errorf("multi: AddMachines(%d)", n)
+	}
+	for i := 0; i < n; i++ {
+		s.machines = append(s.machines, s.factory())
+	}
+	for key, sets := range s.perWin {
+		for len(sets) < len(s.machines) {
+			sets = append(sets, make(stringSet))
+		}
+		s.perWin[key] = sets
+		s.settleSkew(key)
+	}
+	return nil
+}
+
+// RemoveMachines implements sched.Elastic: the last n machines drain,
+// and each drained job is re-placed on a surviving machine (one
+// migration each, least-loaded first) or evicted if no machine accepts
+// it. At most one migration per drained job; jobs on surviving machines
+// never move.
+func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
+	var total metrics.Cost
+	if n < 1 || n >= len(s.machines) {
+		return total, nil, fmt.Errorf("multi: RemoveMachines(%d) on a %d-machine pool", n, len(s.machines))
+	}
+	keep := len(s.machines) - n
+
+	var doomed []string
+	for name, idx := range s.byJob {
+		if idx >= keep {
+			doomed = append(doomed, name)
+		}
+	}
+	sort.Strings(doomed)
+
+	var evicted []jobs.Job
+	for _, name := range doomed {
+		idx, key := s.byJob[name], s.windows[name]
+		j := jobs.Job{Name: name, Window: key.window()}
+		dc, err := s.machines[idx].Delete(name)
+		if err != nil {
+			return total, evicted, fmt.Errorf("multi: drain delete of %q failed: %w", name, err)
+		}
+		total.Add(dc)
+		s.forget(name, key, idx)
+
+		// Try the surviving machines, emptiest (for this window) first.
+		placed := false
+		for _, t := range s.survivorsByLoad(key, keep) {
+			ic, err := s.machines[t].Insert(j)
+			if err == nil {
+				total.Add(ic)
+				total.Migrations++
+				s.commit(name, key, t)
+				placed = true
+				break
+			}
+			if rerr := s.recoverMachine(t); rerr != nil {
+				return total, evicted, rerr
+			}
+		}
+		if !placed {
+			evicted = append(evicted, j)
+		}
+	}
+
+	s.machines = s.machines[:keep]
+	for key, sets := range s.perWin {
+		if len(sets) > keep {
+			s.perWin[key] = sets[:keep]
+		}
+		s.settleSkew(key)
+	}
+	return total, evicted, nil
+}
+
+// recoverMachine rebuilds machine idx from its tracked jobs when a
+// failed insert left it poisoned (sched.Poisoner); healthy rejections
+// cost nothing. This keeps the pool usable under the retry paths that
+// deliberately probe full machines (shard overflow, shrink eviction)
+// even when the per-machine scheduler is a bare reservation core.
+func (s *Scheduler) recoverMachine(idx int) error {
+	if sched.Poisoned(s.machines[idx]) == nil {
+		return nil
+	}
+	fresh := s.factory()
+	for name, mi := range s.byJob {
+		if mi != idx {
+			continue
+		}
+		if _, err := fresh.Insert(jobs.Job{Name: name, Window: s.windows[name].window()}); err != nil {
+			return fmt.Errorf("multi: rebuild of machine %d failed reinserting %q: %w", idx, name, err)
+		}
+	}
+	s.machines[idx] = fresh
+	return nil
+}
+
+// survivorsByLoad returns [0, keep) sorted by ascending key-job count,
+// ties to the lowest index.
+func (s *Scheduler) survivorsByLoad(key winKey, keep int) []int {
+	sets := s.perWin[key]
+	out := make([]int, keep)
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return s.count(sets, out[a]) < s.count(sets, out[b])
+	})
+	return out
+}
+
+func (s *Scheduler) commit(name string, key winKey, idx int) {
+	s.byJob[name] = idx
+	s.windows[name] = key
+	s.ensurePerWin(key)[idx][name] = struct{}{}
 }
 
 func (s *Scheduler) ensurePerWin(key winKey) []stringSet {
 	sets := s.perWin[key]
-	if sets == nil {
-		sets = make([]stringSet, len(s.machines))
-		for i := range sets {
-			sets[i] = make(stringSet)
+	if len(sets) < len(s.machines) {
+		for len(sets) < len(s.machines) {
+			sets = append(sets, make(stringSet))
 		}
 		s.perWin[key] = sets
 	}
@@ -179,6 +355,33 @@ func (s *Scheduler) forget(name string, key winKey, idx int) {
 	delete(s.windows, name)
 	if sets := s.perWin[key]; sets != nil {
 		delete(sets[idx], name)
+	}
+}
+
+// skew returns max-min key-job count across machines.
+func (s *Scheduler) skew(key winKey) int {
+	sets := s.perWin[key]
+	minN, maxN := -1, 0
+	for i := range s.machines {
+		n := s.count(sets, i)
+		if minN < 0 || n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return maxN - minN
+}
+
+// settleSkew re-records the window's balance allowance: back to strict
+// floor/ceil once the spread is <= 1, otherwise the (never-increasing)
+// current spread.
+func (s *Scheduler) settleSkew(key winKey) {
+	if sk := s.skew(key); sk > 1 {
+		s.skewCap[key] = sk
+	} else {
+		delete(s.skewCap, key)
 	}
 }
 
@@ -196,49 +399,43 @@ func (s *Scheduler) anyJobOn(key winKey, idx int) (string, bool) {
 	return names[0], true
 }
 
-// SelfCheck validates the round-robin balance invariant and the inner
-// schedulers.
+// SelfCheck validates the balance invariant (floor/ceil per window,
+// relaxed to the recorded skew cap for windows unbalanced by a resize)
+// and the inner schedulers.
 func (s *Scheduler) SelfCheck() error {
 	for i, m := range s.machines {
 		if err := m.SelfCheck(); err != nil {
 			return fmt.Errorf("multi: machine %d: %w", i, err)
 		}
 	}
-	// Recount jobs per window per machine.
+	// Recount jobs per window per machine and cross-check the tracked
+	// sets.
 	recount := make(map[winKey][]int)
 	for name, idx := range s.byJob {
 		key := s.windows[name]
 		if recount[key] == nil {
 			recount[key] = make([]int, len(s.machines))
 		}
+		if idx < 0 || idx >= len(s.machines) {
+			return fmt.Errorf("multi: job %q routed to machine %d of %d", name, idx, len(s.machines))
+		}
 		recount[key][idx]++
 	}
 	for key, per := range recount {
-		total := 0
-		for _, c := range per {
-			total += c
-		}
-		if total != s.counts[key] {
-			return fmt.Errorf("multi: window %v count %d, tracked %d", key.window(), total, s.counts[key])
-		}
-		lo, hi := total/len(s.machines), (total+len(s.machines)-1)/len(s.machines)
-		extras := total % len(s.machines)
+		sets := s.perWin[key]
 		for i, c := range per {
-			if c < lo || c > hi {
-				return fmt.Errorf("multi: window %v machine %d holds %d jobs, want %d..%d",
-					key.window(), i, c, lo, hi)
+			if tracked := s.count(sets, i); tracked != c {
+				return fmt.Errorf("multi: window %v machine %d holds %d jobs, tracked %d",
+					key.window(), i, c, tracked)
 			}
-			// Extras must sit on the earliest machines.
-			if extras > 0 {
-				want := lo
-				if i < extras {
-					want = hi
-				}
-				if c != want {
-					return fmt.Errorf("multi: window %v machine %d holds %d jobs, round-robin wants %d",
-						key.window(), i, c, want)
-				}
-			}
+		}
+		allowed := 1
+		if c, ok := s.skewCap[key]; ok && c > allowed {
+			allowed = c
+		}
+		if sk := s.skew(key); sk > allowed {
+			return fmt.Errorf("multi: window %v spread %d exceeds allowance %d",
+				key.window(), sk, allowed)
 		}
 	}
 	// Inner schedulers must agree with our routing.

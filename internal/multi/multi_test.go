@@ -22,7 +22,7 @@ func job(name string, start, end int64) jobs.Job {
 
 func coreFactory() sched.Scheduler { return core.New() }
 
-func TestRoundRobinDelegation(t *testing.T) {
+func TestBalancedDelegation(t *testing.T) {
 	s := New(3, coreFactory)
 	for i := 0; i < 6; i++ {
 		if _, err := s.Insert(job(fmt.Sprintf("j%d", i), 0, 64)); err != nil {
@@ -81,8 +81,17 @@ func TestMigrationRestoresBalance(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Deleting j0 (machine 0) must migrate one job from machine 1.
+	// Deleting j0 leaves {1, 2} — still within floor/ceil, no migration.
 	c, err := s.Delete("j0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Migrations != 0 {
+		t.Errorf("balanced delete migrated %d jobs, want 0", c.Migrations)
+	}
+	// Deleting j2 empties machine 0 while machine 1 holds 2: one job must
+	// migrate back to restore floor/ceil.
+	c, err = s.Delete("j2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,22 +102,22 @@ func TestMigrationRestoresBalance(t *testing.T) {
 	for _, p := range s.Assignment() {
 		per[p.Machine]++
 	}
-	if per[0] != 2 || per[1] != 1 {
-		t.Errorf("post-delete balance %v, want [2 1]", per)
+	if per[0] != 1 || per[1] != 1 {
+		t.Errorf("post-delete balance %v, want [1 1]", per)
 	}
 	if err := s.SelfCheck(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestDeleteNewestExtraNoMigration(t *testing.T) {
+func TestDeleteFromFullestNoMigration(t *testing.T) {
 	s := New(2, coreFactory)
 	for i := 0; i < 3; i++ {
 		if _, err := s.Insert(job(fmt.Sprintf("j%d", i), 0, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// j2 sits on machine 0 (the newest extra): deleting it needs no move.
+	// j2 sits on machine 0 (the fuller machine): deleting it needs no move.
 	c, err := s.Delete("j2")
 	if err != nil {
 		t.Fatal(err)

@@ -65,6 +65,50 @@ type Scheduler interface {
 	SelfCheck() error
 }
 
+// ErrNotElastic reports a resize against a scheduler (or wrapper chain)
+// that does not support changing its machine pool.
+var ErrNotElastic = errors.New("sched: scheduler does not support resizing")
+
+// Poisoner is implemented by schedulers that can become permanently
+// unusable after a failed request (the reservation core: a mid-request
+// failure leaves partial reservation state). Wrappers probe it to
+// decide whether a rejection needs a recovery rebuild — a clean
+// rejection (duplicate, misaligned, cap exceeded) does not.
+type Poisoner interface {
+	// Poisoned returns the sticky failure, or nil while usable.
+	Poisoned() error
+}
+
+// Poisoned reports s's sticky failure state: nil for healthy schedulers
+// and for schedulers that cannot poison (no Poisoner implementation).
+func Poisoned(s Scheduler) error {
+	if p, ok := s.(Poisoner); ok {
+		return p.Poisoned()
+	}
+	return nil
+}
+
+// Elastic is implemented by schedulers whose machine pool can be
+// resized at runtime. Resizing is a control operation, not a request:
+// it is not part of the paper's request model, but the reallocation
+// costs it incurs are measured in the same two currencies.
+//
+// The contract mirrors the paper's migration discipline: growing the
+// pool never moves a job, and shrinking the pool re-places only the
+// jobs that lived on the drained machines — at most one migration per
+// drained job. Jobs the shrunken pool cannot absorb are evicted and
+// returned to the caller instead of being dropped silently.
+type Elastic interface {
+	// AddMachines grows the pool by n fresh machines. No job moves.
+	AddMachines(n int) error
+	// RemoveMachines shrinks the pool by its last n machines. Jobs on
+	// the drained machines are re-placed on the surviving machines
+	// where possible (one migration each, folded into the returned
+	// cost); jobs that fit nowhere are removed from the scheduler and
+	// returned as evicted.
+	RemoveMachines(n int) (metrics.Cost, []jobs.Job, error)
+}
+
 // Apply routes one request to the scheduler.
 func Apply(s Scheduler, r jobs.Request) (metrics.Cost, error) {
 	switch r.Kind {

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/sched"
+)
+
+// TestCloseRacesOverflowHop closes the scheduler while overflow hops
+// are in flight on their own goroutines: the hop's send must fail
+// cleanly with ErrClosed instead of panicking on a closed channel or
+// leaking the reservation. Run with -race (CI does).
+func TestCloseRacesOverflowHop(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		// Shard 0 rejects everything, so every insert overflows to
+		// shard 1 via the hop goroutine.
+		s := New(Config{
+			Shards: 2, Machines: 2,
+			Factory: func(m int) sched.Scheduler {
+				return rejecting{stackFactory(m)}
+			},
+			Policy: PolicyFunc(func(string, int) int { return 0 }),
+		})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					// Errors (infeasible or closed) are expected; the
+					// point is the absence of panics and races.
+					_ = s.Submit(jobs.InsertReq(fmt.Sprintf("r%d-g%d-%d", round, g, i), 0, 64))
+				}
+			}(g)
+		}
+		s.Close()
+		wg.Wait()
+		// Close is idempotent even with the hops settled afterward.
+		s.Close()
+	}
+}
+
+// TestDrainTruncatesRetainedErrors: the async failure log keeps only
+// maxRetainedErrs entries but Drain must still report the full count,
+// and the log must reset afterward.
+func TestDrainTruncatesRetainedErrors(t *testing.T) {
+	s := New(Config{
+		Shards: 2, Machines: 2,
+		Factory: func(m int) sched.Scheduler { return rejecting{stackFactory(m)} },
+	})
+	defer s.Close()
+	const n = maxRetainedErrs + 9
+	for i := 0; i < n; i++ {
+		if err := s.Submit(jobs.InsertReq(fmt.Sprintf("fail-%02d", i), 0, 64)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	s.pendWait()
+	s.errMu.Lock()
+	retained := len(s.asyncErrs)
+	s.errMu.Unlock()
+	if retained != maxRetainedErrs {
+		t.Errorf("retained %d errors, want the cap %d", retained, maxRetainedErrs)
+	}
+	err := s.Drain()
+	if err == nil {
+		t.Fatal("Drain reported no error for failing submits")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("%d async request(s) failed", n)) {
+		t.Errorf("Drain error %q does not report the full count %d", err, n)
+	}
+	if err := s.Drain(); err != nil {
+		t.Errorf("second Drain not clean: %v", err)
+	}
+}
+
+// TestSnapshotConsistentUnderLoad is the regression test for the racy
+// Verify: 8+ goroutines mutate while snapshots are verified. With
+// separate Jobs()/Assignment() passes this fails within a few
+// iterations; the one-pass Snapshot must never report a mismatch.
+// Run with -race (CI does).
+func TestSnapshotConsistentUnderLoad(t *testing.T) {
+	const mutators = 8
+	per := 400
+	if testing.Short() {
+		per = 100
+	}
+	s := newElasticSharded(t, 4, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < mutators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				name := fmt.Sprintf("m%d-%04d", g, i)
+				if _, err := s.Insert(jobs.Job{Name: name, Window: jobs.Window{Start: 0, End: 4096}}); err != nil {
+					t.Errorf("insert %s: %v", name, err)
+					return
+				}
+				if i%2 == 1 {
+					if _, err := s.Delete(name); err != nil {
+						t.Errorf("delete %s: %v", name, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	verifies := 0
+	for {
+		select {
+		case <-done:
+			if verifies == 0 {
+				t.Fatal("no snapshot verified while mutators ran")
+			}
+			snap := s.Snapshot()
+			if err := feasible.VerifySchedule(snap.Jobs, snap.Assignment, snap.Machines); err != nil {
+				t.Fatalf("final snapshot: %v", err)
+			}
+			return
+		default:
+			snap := s.Snapshot()
+			if len(snap.Jobs) != len(snap.Assignment) {
+				t.Fatalf("snapshot tore: %d jobs, %d placements", len(snap.Jobs), len(snap.Assignment))
+			}
+			if err := feasible.VerifySchedule(snap.Jobs, snap.Assignment, snap.Machines); err != nil {
+				t.Fatalf("snapshot under load: %v", err)
+			}
+			verifies++
+		}
+	}
+}

@@ -16,6 +16,13 @@
 // returns immediately, with Drain waiting for every outstanding request
 // and reporting asynchronous failures.
 //
+// The machine pool is elastic: Resize and ResizeShard grow or shrink
+// shards' machine ranges at runtime with bounded migrations — growing
+// never moves a job, shrinking re-places only the jobs that lived on
+// the drained machines (first within the shard, then via the overflow
+// path to the least-loaded shards). SubmitResize is the asynchronous
+// variant; per-resize migration counts land in the shard report.
+//
 // Sharding trades the paper's global cost bounds for throughput: each
 // shard preserves Theorem 1's guarantees on its own machine range, but
 // underallocation is only enforced shard-locally, which is why overflow
@@ -27,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/metrics"
@@ -36,8 +45,19 @@ import (
 // ErrClosed reports a request sent to a closed scheduler.
 var ErrClosed = errors.New("shard: scheduler is closed")
 
-// reservedShard marks a name whose insert is still in flight.
-const reservedShard = -1
+// ErrNotElastic reports a resize against a shard whose inner scheduler
+// does not implement sched.Elastic (or whose wrapper chain bottoms out
+// in a non-elastic scheduler).
+var ErrNotElastic = sched.ErrNotElastic
+
+// Routing-table markers for names without a committed shard.
+const (
+	// reservedShard marks a name whose insert is still in flight.
+	reservedShard = -1
+	// migratingShard marks a name a pool shrink evicted from its shard
+	// and is moving to another; deletes wait for the move to settle.
+	migratingShard = -2
+)
 
 // defaultBuffer is the per-shard request channel capacity.
 const defaultBuffer = 256
@@ -45,16 +65,34 @@ const defaultBuffer = 256
 // maxBatch bounds how many queued requests a worker drains per wakeup.
 const maxBatch = 64
 
+// migrateSettleStep / migrateSettleMax bound how long a delete waits for
+// an in-flight resize migration of its job to land. Resize migrations
+// settle in milliseconds; if one somehow exceeds the cap, the delete
+// fails with a "timed out waiting for its resize migration" error while
+// the job stays scheduled on its new shard — the delete can simply be
+// retried.
+const (
+	migrateSettleStep = 100 * time.Microsecond
+	migrateSettleMax  = 2 * time.Second
+)
+
 // Factory builds the inner scheduler of one shard, given the number of
-// machines the shard owns.
+// machines the shard owns. For the pool to be resizable the returned
+// scheduler must implement sched.Elastic.
 type Factory func(machines int) sched.Scheduler
 
 // Config configures New.
+//
+// Validation matches realloc.NewSharded: a zero value means "use the
+// default" (documented per field), and negative values panic. The one
+// intentional difference is the Shards default — 1 here, 4 there — and
+// the Machines < Shards case, which panics here (the low-level API does
+// not resize what you asked for) but grows the pool there.
 type Config struct {
-	// Shards is the number of shards S (default 1).
+	// Shards is the number of shards S (0 means 1; negative panics).
 	Shards int
 	// Machines is the total machine pool, partitioned near-evenly
-	// across shards (default Shards; must be >= Shards).
+	// across shards (0 means Shards; must otherwise be >= Shards).
 	Machines int
 	// Factory builds each shard's inner scheduler (required).
 	Factory Factory
@@ -71,9 +109,20 @@ type Scheduler struct {
 	workers []*worker
 	policy  Policy
 
-	mu     sync.RWMutex
-	byJob  map[string]int // name -> shard, or reservedShard while in flight
-	active int            // committed entries in byJob
+	mu       sync.RWMutex
+	byJob    map[string]int // name -> shard, or a negative marker
+	active   int            // committed entries in byJob
+	loads    []int          // committed jobs per shard
+	inflight []int          // in-flight insert reservations per shard
+	resizes  []metrics.ResizeCost
+
+	// rangeMu guards the machine-range view (worker.base/machines):
+	// resizes renumber under the write lock, snapshots and load
+	// estimates read under the read lock.
+	rangeMu sync.RWMutex
+
+	// resizeMu serializes resize operations.
+	resizeMu sync.Mutex
 
 	// sendMu serializes request sends against Close: senders hold the
 	// read side, Close holds the write side while closing channels.
@@ -96,11 +145,14 @@ var _ sched.Scheduler = (*Scheduler)(nil)
 
 // worker owns one shard: its inner scheduler, machine range, request
 // channel, and statistics. Only the worker goroutine touches inner and
-// stats after startup.
+// stats after startup. base is guarded by rangeMu; machines is atomic
+// because worker-side code (the overflow load heuristic) reads it and
+// must never block on rangeMu — a resize holds that lock while waiting
+// for the worker.
 type worker struct {
 	idx      int
-	base     int // global index of the shard's first machine
-	machines int
+	base     int          // global index of the shard's first machine
+	machines atomic.Int64 // current machine count
 	inner    sched.Scheduler
 	reqs     chan task
 	done     chan struct{}
@@ -114,9 +166,14 @@ type task struct {
 	// a fallback shard if this shard rejects it as infeasible; such a
 	// rejection counts as Rerouted, not as a terminal Failure.
 	retryable bool
-	finish    func(metrics.Cost, error)
+	// resizeMove marks the re-insert of a job another shard evicted
+	// during a pool shrink; it is counted as resize work, not as a
+	// client request.
+	resizeMove bool
+	finish     func(metrics.Cost, error)
 	// ctrl, when non-nil, runs on the worker goroutine instead of req
-	// (snapshots, self-checks, reports); ctrlDone signals completion.
+	// (snapshots, self-checks, reports, resizes); ctrlDone signals
+	// completion.
 	ctrl     func(inner sched.Scheduler, st *metrics.ShardCost)
 	ctrlDone *sync.WaitGroup
 }
@@ -143,9 +200,11 @@ func New(cfg Config) *Scheduler {
 		cfg.Buffer = defaultBuffer
 	}
 	s := &Scheduler{
-		workers: make([]*worker, cfg.Shards),
-		policy:  cfg.Policy,
-		byJob:   make(map[string]int),
+		workers:  make([]*worker, cfg.Shards),
+		policy:   cfg.Policy,
+		byJob:    make(map[string]int),
+		loads:    make([]int, cfg.Shards),
+		inflight: make([]int, cfg.Shards),
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
 	base := 0
@@ -155,13 +214,13 @@ func New(cfg Config) *Scheduler {
 			m++ // spread the remainder over the earliest shards
 		}
 		w := &worker{
-			idx:      i,
-			base:     base,
-			machines: m,
-			inner:    cfg.Factory(m),
-			reqs:     make(chan task, cfg.Buffer),
-			done:     make(chan struct{}),
+			idx:   i,
+			base:  base,
+			inner: cfg.Factory(m),
+			reqs:  make(chan task, cfg.Buffer),
+			done:  make(chan struct{}),
 		}
+		w.machines.Store(int64(m))
 		w.stats.Shard = i
 		w.stats.Machines = m
 		base += m
@@ -208,6 +267,15 @@ func (w *worker) exec(t task) {
 		return
 	}
 	c, err := sched.Apply(w.inner, t.req)
+	if t.resizeMove {
+		// Resize work is accounted separately from client requests.
+		if err == nil {
+			w.stats.ResizeAbsorbed++
+			w.stats.Cost.Add(c)
+		}
+		t.finish(c, err)
+		return
+	}
 	w.stats.Requests++
 	switch {
 	case err != nil && t.retryable && errors.Is(err, sched.ErrInfeasible):
@@ -233,13 +301,25 @@ func (s *Scheduler) send(i int, t task) error {
 	return nil
 }
 
-// Shards returns the shard count.
+// Shards returns the shard count (fixed for the scheduler's lifetime;
+// only the machine pool is elastic).
 func (s *Scheduler) Shards() int { return len(s.workers) }
 
 // Machines returns the total machine pool size.
 func (s *Scheduler) Machines() int {
+	s.rangeMu.RLock()
+	defer s.rangeMu.RUnlock()
+	return s.machinesLocked()
+}
+
+func (s *Scheduler) machinesLocked() int {
 	last := s.workers[len(s.workers)-1]
-	return last.base + last.machines
+	return last.base + int(last.machines.Load())
+}
+
+// ShardMachines returns shard i's current machine count.
+func (s *Scheduler) ShardMachines(i int) int {
+	return int(s.workers[i].machines.Load())
 }
 
 // Active returns the number of committed active jobs.
@@ -284,7 +364,7 @@ func (s *Scheduler) Submit(r jobs.Request) error {
 	s.pendAdd()
 	err := s.dispatch(r, func(_ metrics.Cost, err error) {
 		if err != nil {
-			s.recordAsyncErr(r, err)
+			s.recordAsyncErr(r.String(), err)
 		}
 		s.pendDone()
 	})
@@ -337,12 +417,12 @@ func (s *Scheduler) Drain() error {
 
 const maxRetainedErrs = 16
 
-func (s *Scheduler) recordAsyncErr(r jobs.Request, err error) {
+func (s *Scheduler) recordAsyncErr(what string, err error) {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	s.errCount++
 	if len(s.asyncErrs) < maxRetainedErrs {
-		s.asyncErrs = append(s.asyncErrs, fmt.Errorf("%s: %w", r, err))
+		s.asyncErrs = append(s.asyncErrs, fmt.Errorf("%s: %w", what, err))
 	}
 }
 
@@ -364,21 +444,26 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 }
 
 func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, error)) error {
+	primary := s.policy.Route(r.Name, len(s.workers))
 	s.mu.Lock()
 	if _, dup := s.byJob[r.Name]; dup {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", sched.ErrDuplicateJob, r.Name)
 	}
 	s.byJob[r.Name] = reservedShard
+	s.inflight[primary]++
 	s.mu.Unlock()
 
-	primary := s.policy.Route(r.Name, len(s.workers))
 	err := s.send(primary, task{req: r, retryable: len(s.workers) > 1, finish: func(c metrics.Cost, err error) {
 		if err != nil && errors.Is(err, sched.ErrInfeasible) && len(s.workers) > 1 {
 			// Primary shard is locally overallocated: overflow to the
 			// least-loaded shard. The hop runs on a fresh goroutine so
 			// shard workers never block sending to each other.
 			if fb := s.leastLoaded(primary); fb != primary {
+				s.mu.Lock()
+				s.inflight[primary]--
+				s.inflight[fb]++
+				s.mu.Unlock()
 				go s.overflow(r, fb, finish)
 				return
 			}
@@ -387,7 +472,7 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 		finish(c, err)
 	}})
 	if err != nil {
-		s.unreserve(r.Name)
+		s.unreserve(r.Name, primary)
 		return err
 	}
 	return nil
@@ -400,68 +485,133 @@ func (s *Scheduler) overflow(r jobs.Request, fb int, finish func(metrics.Cost, e
 		finish(c, err)
 	}})
 	if err != nil {
-		s.unreserve(r.Name)
+		s.unreserve(r.Name, fb)
 		finish(metrics.Cost{}, err)
 	}
 }
 
+// commitInsert settles an in-flight insert reservation on shard
+// shardIdx: into the routing table on success, dropped on failure.
 func (s *Scheduler) commitInsert(name string, shardIdx int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.inflight[shardIdx]--
 	if err != nil {
 		delete(s.byJob, name)
 		return
 	}
 	s.byJob[name] = shardIdx
+	s.loads[shardIdx]++
 	s.active++
 }
 
-func (s *Scheduler) unreserve(name string) {
+func (s *Scheduler) unreserve(name string, shardIdx int) {
 	s.mu.Lock()
+	s.inflight[shardIdx]--
 	delete(s.byJob, name)
 	s.mu.Unlock()
 }
 
-func (s *Scheduler) dispatchDelete(r jobs.Request, finish func(metrics.Cost, error)) error {
-	s.mu.RLock()
-	idx, ok := s.byJob[r.Name]
-	s.mu.RUnlock()
-	if !ok || idx == reservedShard {
-		return fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
+// resolveDeleteShard looks up the shard holding name, waiting out an
+// in-flight resize migration of the job.
+func (s *Scheduler) resolveDeleteShard(name string) (int, error) {
+	for waited := time.Duration(0); ; waited += migrateSettleStep {
+		s.mu.RLock()
+		idx, ok := s.byJob[name]
+		s.mu.RUnlock()
+		switch {
+		case !ok || idx == reservedShard:
+			return 0, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
+		case idx >= 0:
+			return idx, nil
+		case waited >= migrateSettleMax:
+			return 0, fmt.Errorf("shard: delete of %q timed out waiting for its resize migration", name)
+		}
+		time.Sleep(migrateSettleStep)
 	}
+}
+
+func (s *Scheduler) dispatchDelete(r jobs.Request, finish func(metrics.Cost, error)) error {
+	idx, err := s.resolveDeleteShard(r.Name)
+	if err != nil {
+		return err
+	}
+	return s.sendDelete(idx, r, finish, 2)
+}
+
+// sendDelete enqueues a delete on shard idx. If the shard no longer
+// holds the job because a resize migrated it away between routing and
+// execution, the delete chases the job to its new shard (bounded hops).
+func (s *Scheduler) sendDelete(idx int, r jobs.Request, finish func(metrics.Cost, error), hops int) error {
 	return s.send(idx, task{req: r, finish: func(c metrics.Cost, err error) {
 		if err == nil {
 			s.mu.Lock()
 			delete(s.byJob, r.Name)
+			s.loads[idx]--
 			s.active--
 			s.mu.Unlock()
+			finish(c, nil)
+			return
+		}
+		if errors.Is(err, sched.ErrUnknownJob) && hops > 0 {
+			// The job may be mid-migration: re-resolve off the worker
+			// goroutine and chase it.
+			go func() {
+				cur, rerr := s.resolveDeleteShard(r.Name)
+				if rerr != nil || cur == idx {
+					finish(c, err)
+					return
+				}
+				if serr := s.sendDelete(cur, r, finish, hops-1); serr != nil {
+					finish(c, serr)
+				}
+			}()
+			return
 		}
 		finish(c, err)
 	}})
 }
 
-// leastLoaded returns the shard with the fewest committed jobs per
-// machine, excluding shard `not` (ties to the lowest index).
+// leastLoaded returns the shard with the fewest jobs per machine —
+// counting both committed jobs and in-flight insert reservations, so a
+// burst of concurrent overflows spreads out instead of stampeding onto
+// one fallback — excluding shard `not` (ties to the lowest index).
 func (s *Scheduler) leastLoaded(not int) int {
-	load := make([]int, len(s.workers))
+	order := s.loadOrder(not)
+	if len(order) == 0 {
+		return not
+	}
+	return order[0]
+}
+
+// loadOrder returns every shard except `exclude`, sorted by ascending
+// (committed + in-flight) jobs per machine, ties to the lowest index.
+func (s *Scheduler) loadOrder(exclude int) []int {
+	mach := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		mach[i] = int(w.machines.Load())
+	}
+
 	s.mu.RLock()
-	for _, idx := range s.byJob {
-		if idx >= 0 {
-			load[idx]++
-		}
+	load := make([]float64, len(s.workers))
+	for i := range s.workers {
+		load[i] = float64(s.loads[i]+s.inflight[i]) / float64(mach[i])
 	}
 	s.mu.RUnlock()
-	best, bestLoad := not, -1.0
-	for i, w := range s.workers {
-		if i == not {
-			continue
-		}
-		l := float64(load[i]) / float64(w.machines)
-		if bestLoad < 0 || l < bestLoad {
-			best, bestLoad = i, l
+
+	out := make([]int, 0, len(s.workers)-1)
+	for i := range s.workers {
+		if i != exclude {
+			out = append(out, i)
 		}
 	}
-	return best
+	// Insertion sort: shard counts are small.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && load[out[k]] < load[out[k-1]]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
 }
 
 // each runs fn on every shard worker goroutine and waits for all of
@@ -488,38 +638,77 @@ func (s *Scheduler) each(fn func(shardIdx int, inner sched.Scheduler, st *metric
 	return firstErr
 }
 
-// Assignment returns a snapshot of the global schedule, with per-shard
-// machine indices remapped into the global machine range.
-func (s *Scheduler) Assignment() jobs.Assignment {
-	out := make(jobs.Assignment)
-	var mu sync.Mutex
-	_ = s.each(func(i int, inner sched.Scheduler, _ *metrics.ShardCost) {
-		base := s.workers[i].base
-		local := inner.Assignment()
-		mu.Lock()
-		for name, p := range local {
-			out[name] = jobs.Placement{Machine: base + p.Machine, Slot: p.Slot}
-		}
-		mu.Unlock()
-	})
-	return out
+// ctrlOn runs fn on shard i's worker goroutine and waits for it.
+func (s *Scheduler) ctrlOn(i int, fn func(inner sched.Scheduler, st *metrics.ShardCost)) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := s.send(i, task{ctrlDone: &wg, ctrl: fn}); err != nil {
+		wg.Done()
+		return err
+	}
+	wg.Wait()
+	return nil
 }
 
-// Jobs returns a snapshot of the active job set.
-func (s *Scheduler) Jobs() []jobs.Job {
-	var out []jobs.Job
-	var mu sync.Mutex
-	_ = s.each(func(_ int, inner sched.Scheduler, _ *metrics.ShardCost) {
-		js := inner.Jobs()
-		mu.Lock()
-		out = append(out, js...)
-		mu.Unlock()
+// Snapshot is a consistent view of the scheduler's schedule: the active
+// jobs, their placements (machine indices in the global range), and the
+// machine pool size, all captured in ONE control pass. Each shard
+// contributes its jobs and its placements at the same instant, so a job
+// present in Jobs always has its placement in Assignment and vice versa
+// — unlike calling Jobs() and Assignment() back to back, which lets
+// concurrent requests slip between the two passes.
+//
+// Consistency caveat: the cut is per-shard-atomic, not global — shards
+// are sampled at slightly different times, so two requests racing the
+// snapshot on different shards may land on either side of it. That
+// cannot produce a job/placement mismatch (a job lives on exactly one
+// shard), but ordering across shards is not preserved. Snapshots also
+// serialize against pool resizes, so the machine ranges are stable
+// within one snapshot.
+type Snapshot struct {
+	Jobs       []jobs.Job
+	Assignment jobs.Assignment
+	Machines   int
+}
+
+// Snapshot captures jobs + assignment + pool size in one control pass.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.rangeMu.RLock()
+	defer s.rangeMu.RUnlock()
+	type part struct {
+		js  []jobs.Job
+		asn jobs.Assignment
+	}
+	parts := make([]part, len(s.workers))
+	_ = s.each(func(i int, inner sched.Scheduler, _ *metrics.ShardCost) {
+		parts[i] = part{js: inner.Jobs(), asn: inner.Assignment()}
 	})
-	return out
+	snap := Snapshot{Machines: s.machinesLocked(), Assignment: make(jobs.Assignment)}
+	for i, p := range parts {
+		base := s.workers[i].base
+		snap.Jobs = append(snap.Jobs, p.js...)
+		for name, pl := range p.asn {
+			snap.Assignment[name] = jobs.Placement{Machine: base + pl.Machine, Slot: pl.Slot}
+		}
+	}
+	return snap
+}
+
+// Assignment returns a snapshot of the global schedule, with per-shard
+// machine indices remapped into the global machine range. Prefer
+// Snapshot when the job set must be consistent with the assignment.
+func (s *Scheduler) Assignment() jobs.Assignment {
+	return s.Snapshot().Assignment
+}
+
+// Jobs returns a snapshot of the active job set. Prefer Snapshot when
+// the job set must be consistent with the assignment.
+func (s *Scheduler) Jobs() []jobs.Job {
+	return s.Snapshot().Jobs
 }
 
 // Report returns the shard-aware cost report: per-shard totals of
-// requests, failures, overflow hops, batches, and costs.
+// requests, failures, overflow hops, batches, resizes, and costs.
 func (s *Scheduler) Report() metrics.ShardReport {
 	rep := metrics.ShardReport{Shards: make([]metrics.ShardCost, len(s.workers))}
 	_ = s.each(func(i int, inner sched.Scheduler, st *metrics.ShardCost) {
@@ -527,7 +716,277 @@ func (s *Scheduler) Report() metrics.ShardReport {
 		snap.Active = inner.Active()
 		rep.Shards[i] = snap
 	})
+	s.mu.RLock()
+	rep.Resizes = append([]metrics.ResizeCost(nil), s.resizes...)
+	s.mu.RUnlock()
 	return rep
+}
+
+// Resize grows or shrinks the total machine pool to `machines`,
+// re-partitioning it near-evenly across the shards (remainder on the
+// earliest shards, like New). Growing shards never moves a job;
+// shrinking shards re-places only the jobs of the drained machines.
+// Grows apply before shrinks so evicted jobs can land on the freshly
+// grown shards. The aggregate resize cost is returned; per-shard
+// entries land in the report's resize history.
+func (s *Scheduler) Resize(machines int) (metrics.ResizeCost, error) {
+	total := metrics.ResizeCost{Shard: -1}
+	if machines < len(s.workers) {
+		return total, fmt.Errorf("shard: cannot resize %d shards to %d machines (every shard needs one)",
+			len(s.workers), machines)
+	}
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+
+	s.rangeMu.RLock()
+	deltas := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		m := machines / len(s.workers)
+		if i < machines%len(s.workers) {
+			m++
+		}
+		deltas[i] = m - int(w.machines.Load())
+	}
+	s.rangeMu.RUnlock()
+
+	var firstErr error
+	for _, shrink := range []bool{false, true} {
+		for i, d := range deltas {
+			if d == 0 || (d < 0) != shrink {
+				continue
+			}
+			rc, err := s.resizeShardLocked(i, d)
+			total.Add(rc)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return total, firstErr
+}
+
+// ResizeShard grows (delta > 0) or shrinks (delta < 0) shard i's
+// machine range by delta machines. Growing never moves a job. Shrinking
+// drains the shard's last machines: their jobs are re-placed inside the
+// shard where possible, and the remainder is evicted and re-inserted on
+// the least-loaded other shards (one migration per moved job). The
+// returned ResizeCost records the migration bill; it is also appended
+// to the report's resize history.
+func (s *Scheduler) ResizeShard(i, delta int) (metrics.ResizeCost, error) {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	return s.resizeShardLocked(i, delta)
+}
+
+func (s *Scheduler) resizeShardLocked(i, delta int) (metrics.ResizeCost, error) {
+	rc := metrics.ResizeCost{Shard: i, Delta: delta}
+	if i < 0 || i >= len(s.workers) {
+		return rc, fmt.Errorf("shard: resize of shard %d of %d", i, len(s.workers))
+	}
+	if delta == 0 {
+		return rc, nil
+	}
+	cur := int(s.workers[i].machines.Load())
+	if cur+delta < 1 {
+		return rc, fmt.Errorf("shard: resize leaves shard %d with %d machines", i, cur+delta)
+	}
+
+	if delta > 0 {
+		err := s.resizeInner(i, delta, func(el sched.Elastic, st *metrics.ShardCost) error {
+			if err := el.AddMachines(delta); err != nil {
+				return err
+			}
+			st.Machines += delta
+			return nil
+		})
+		if err != nil {
+			return rc, err
+		}
+		s.recordResize(rc)
+		return rc, nil
+	}
+
+	// Shrink: drain on the worker, then re-home the evictions.
+	drop := -delta
+	var evicted []jobs.Job
+	err := s.resizeInner(i, delta, func(el sched.Elastic, st *metrics.ShardCost) error {
+		cost, ev, rerr := el.RemoveMachines(drop)
+		if rerr != nil {
+			return rerr
+		}
+		st.Machines -= drop
+		st.Cost.Add(cost)
+		st.ResizeEvicted += len(ev)
+		rc.Cost.Add(cost)
+		evicted = ev
+		// Mark the evictions as migrating before the worker serves
+		// anything else, so deletes queued behind this control task
+		// chase the jobs instead of failing.
+		s.mu.Lock()
+		for _, j := range ev {
+			s.byJob[j.Name] = migratingShard
+		}
+		s.loads[i] -= len(ev)
+		s.active -= len(ev)
+		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return rc, err
+	}
+
+	rc.Evicted = len(evicted)
+	var dropped []string
+	for _, j := range evicted {
+		c, err := s.placeEvicted(j, i)
+		if err != nil {
+			rc.Dropped++
+			dropped = append(dropped, j.Name)
+			continue
+		}
+		rc.Reinserted++
+		rc.Cost.Add(c)
+		rc.Cost.Migrations++ // the job crossed shards
+	}
+	s.recordResize(rc)
+	if rc.Dropped > 0 {
+		// The scheduler no longer holds these jobs; name them so the
+		// caller can re-create them (or scale back up first). On
+		// γ-underallocated workloads this cannot happen — the evicted
+		// jobs always fit the remaining pool.
+		return rc, fmt.Errorf("shard: shrink of shard %d dropped %d job(s) no shard could absorb: %v",
+			i, rc.Dropped, dropped)
+	}
+	return rc, nil
+}
+
+// placeEvicted synchronously re-inserts a resize-evicted job on another
+// shard, least-loaded first, with the evicting shard itself as the last
+// resort. On total failure the job leaves the routing table and the
+// caller reports it dropped by name.
+func (s *Scheduler) placeEvicted(j jobs.Job, evictor int) (metrics.Cost, error) {
+	r := jobs.Request{Kind: jobs.Insert, Name: j.Name, Window: j.Window}
+	lastErr := fmt.Errorf("%w: no fallback shard", sched.ErrInfeasible)
+	for _, fb := range append(s.loadOrder(evictor), evictor) {
+		s.mu.Lock()
+		s.inflight[fb]++
+		s.mu.Unlock()
+		c, err := s.applyOn(fb, r)
+		if err == nil {
+			s.commitInsert(j.Name, fb, nil)
+			return c, nil
+		}
+		s.mu.Lock()
+		s.inflight[fb]--
+		s.mu.Unlock()
+		lastErr = err
+		if !errors.Is(err, sched.ErrInfeasible) {
+			break // closed or structural failure: stop probing
+		}
+	}
+	s.mu.Lock()
+	delete(s.byJob, j.Name)
+	s.mu.Unlock()
+	return metrics.Cost{}, lastErr
+}
+
+// applyOn serves one request synchronously on a specific shard,
+// bypassing routing (resize re-placements only).
+func (s *Scheduler) applyOn(i int, r jobs.Request) (metrics.Cost, error) {
+	type response struct {
+		cost metrics.Cost
+		err  error
+	}
+	ch := make(chan response, 1)
+	err := s.send(i, task{req: r, resizeMove: true, finish: func(c metrics.Cost, err error) {
+		ch <- response{c, err}
+	}})
+	if err != nil {
+		return metrics.Cost{}, err
+	}
+	resp := <-ch
+	return resp.cost, resp.err
+}
+
+// resizeInner runs the elastic operation on shard i's worker and, on
+// success, applies the machine-count delta to the shard and shifts the
+// bases of the shards after it, keeping the global range contiguous.
+//
+// Both steps happen under the rangeMu write lock: snapshots and load
+// estimates (readers of base/machines) are locked out from the moment
+// the inner pool changes until the global numbering is consistent
+// again. Otherwise a freshly grown shard could place jobs on machines
+// whose global indices still overlap the next shard's range in a
+// concurrent snapshot.
+//
+// Global machine indices are a dense *view* over the per-shard pools:
+// renumbering does not move any job between physical machines, it only
+// relabels where later shards' machines appear in snapshots.
+func (s *Scheduler) resizeInner(i, delta int, op func(el sched.Elastic, st *metrics.ShardCost) error) error {
+	s.rangeMu.Lock()
+	defer s.rangeMu.Unlock()
+	var ctrlErr error
+	err := s.ctrlOn(i, func(inner sched.Scheduler, st *metrics.ShardCost) {
+		el, ok := inner.(sched.Elastic)
+		if !ok {
+			ctrlErr = fmt.Errorf("%w (shard %d: %T)", ErrNotElastic, i, inner)
+			return
+		}
+		ctrlErr = op(el, st)
+	})
+	if err == nil {
+		err = ctrlErr
+	}
+	if err != nil {
+		return err
+	}
+	s.workers[i].machines.Add(int64(delta))
+	for k := i + 1; k < len(s.workers); k++ {
+		s.workers[k].base += delta
+	}
+	return nil
+}
+
+func (s *Scheduler) recordResize(rc metrics.ResizeCost) {
+	s.mu.Lock()
+	s.resizes = append(s.resizes, rc)
+	s.mu.Unlock()
+}
+
+// ResizeReq is an asynchronous pool-resize request for SubmitResize.
+type ResizeReq struct {
+	// Shard is the shard to resize, or -1 to re-partition the whole
+	// pool to Machines.
+	Shard int
+	// Delta is the machine-count change for Shard >= 0.
+	Delta int
+	// Machines is the new pool total for Shard == -1.
+	Machines int
+}
+
+// SubmitResize enqueues a resize and returns immediately; Drain waits
+// for it like any Submit, and failures surface in Drain's summary.
+func (s *Scheduler) SubmitResize(r ResizeReq) error {
+	s.sendMu.RLock()
+	closed := s.closed
+	s.sendMu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	s.pendAdd()
+	go func() {
+		defer s.pendDone()
+		var err error
+		if r.Shard < 0 {
+			_, err = s.Resize(r.Machines)
+		} else {
+			_, err = s.ResizeShard(r.Shard, r.Delta)
+		}
+		if err != nil {
+			s.recordAsyncErr(fmt.Sprintf("resize %+v", r), err)
+		}
+	}()
+	return nil
 }
 
 // SelfCheck validates every shard's internal invariants plus the
@@ -556,11 +1015,13 @@ func (s *Scheduler) SelfCheck() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	committed := 0
+	perShard := make([]int, len(s.workers))
 	for name, idx := range s.byJob {
-		if idx == reservedShard {
-			continue
+		if idx < 0 {
+			continue // reserved or migrating: settled by in-flight work
 		}
 		committed++
+		perShard[idx]++
 		if !routed[idx][name] {
 			return fmt.Errorf("shard: job %q routed to shard %d but not present there", name, idx)
 		}
@@ -574,6 +1035,11 @@ func (s *Scheduler) SelfCheck() error {
 	}
 	if committed != s.active {
 		return fmt.Errorf("shard: active count %d, routing table holds %d", s.active, committed)
+	}
+	for i, n := range perShard {
+		if s.loads[i] != n {
+			return fmt.Errorf("shard: shard %d load counter %d, routing table holds %d", i, s.loads[i], n)
+		}
 	}
 	return nil
 }

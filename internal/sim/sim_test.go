@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,8 +10,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("%d experiments registered, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("%d experiments registered, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -44,7 +45,7 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 16 {
+	if len(tables) != 17 {
 		t.Fatalf("%d tables", len(tables))
 	}
 	for _, tab := range tables {
@@ -163,6 +164,25 @@ func TestE16ShardedParity(t *testing.T) {
 		}
 		if served == 0 {
 			t.Errorf("%s served no requests", row[0])
+		}
+	}
+}
+
+func TestE17ElasticResizing(t *testing.T) {
+	e, _ := ByID("E17")
+	tab, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d phases, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if fmt.Sprint(row[len(row)-1]) != "true" {
+			t.Errorf("migration bound violated: %v", row)
+		}
+		if fmt.Sprint(row[3]) != "0" {
+			t.Errorf("failed requests in phase: %v", row)
 		}
 	}
 }

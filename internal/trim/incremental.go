@@ -167,6 +167,15 @@ func (s *Incremental) Insert(j jobs.Job) (metrics.Cost, error) {
 	}
 	cost, err := target.Insert(vj)
 	if err != nil {
+		// If the mid-request failure poisoned the inner scheduler,
+		// rebuild that parity's schedule (without the rejected job) so
+		// the wrapper stays usable; clean rejections skip the rebuild.
+		// See the matching recovery in Scheduler.Insert.
+		if sched.Poisoned(target) != nil {
+			if rerr := s.recoverInner(target, parity); rerr != nil {
+				return cost, fmt.Errorf("trim: recovery after rejected insert failed: %w", rerr)
+			}
+		}
 		return cost, err
 	}
 	s.originals[j.Name] = j.Window
@@ -276,6 +285,35 @@ func (s *Incremental) moveSome(k int) (metrics.Cost, error) {
 		}
 	}
 	return total, nil
+}
+
+// recoverInner replaces a (possibly poisoned) inner scheduler with a
+// fresh one rebuilt from the jobs it held.
+func (s *Incremental) recoverInner(target sched.Scheduler, parity int64) error {
+	fresh := s.factory()
+	for name, inner := range s.loc {
+		if inner != target {
+			continue
+		}
+		vj, err := s.prepared(name, s.originals[name], parity)
+		if err != nil {
+			return err
+		}
+		if _, err := fresh.Insert(vj); err != nil {
+			return err
+		}
+	}
+	for name, inner := range s.loc {
+		if inner == target {
+			s.loc[name] = fresh
+		}
+	}
+	if target == s.cur {
+		s.cur = fresh
+	} else {
+		s.pending = fresh
+	}
+	return nil
 }
 
 // nextCurJob pops the oldest job still resident in cur.

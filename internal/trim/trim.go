@@ -111,6 +111,21 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	trimmed := jobs.Job{Name: j.Name, Window: trimWindow(j.Window, s.Cap())}
 	cost, err := s.inner.Insert(trimmed)
 	if err != nil {
+		// A rejected insert can leave the inner scheduler poisoned
+		// (mid-request reservation state). If it did, rebuild it from
+		// the active set — which excludes the rejected job — so one
+		// infeasible request does not take the scheduler down with it.
+		// Callers that retry rejected inserts elsewhere (the sharded
+		// front-end's overflow and shrink-eviction paths) rely on this.
+		// Clean rejections (duplicate, misaligned, cap) skip the O(n)
+		// rebuild: the inner scheduler is still healthy.
+		if sched.Poisoned(s.inner) != nil {
+			rc, rerr := s.rebuild()
+			if rerr != nil {
+				return cost, fmt.Errorf("trim: recovery rebuild after rejected insert failed: %w", rerr)
+			}
+			cost.Add(rc)
+		}
 		return cost, err
 	}
 	s.originals[j.Name] = j.Window

@@ -308,3 +308,120 @@ func Sliding(cfg SlidingConfig) ([]jobs.Request, error) {
 	}
 	return reqs, nil
 }
+
+// ElasticConfig parameterizes the autoscaling scenario: a steady
+// workload sized for a base pool, a traffic burst that arrives with a
+// scale-up to a peak pool, and a scale-down back to base once the burst
+// drains.
+type ElasticConfig struct {
+	Seed int64
+	// BaseMachines is the steady-state pool (default 4).
+	BaseMachines int
+	// PeakMachines is the scaled-up pool (default 2*BaseMachines).
+	PeakMachines int
+	// Gamma is the slack enforced by construction (default 8).
+	Gamma int64
+	// Horizon is the schedule horizon, a power of two (default 4096).
+	Horizon int64
+	// StepsPerPhase is the request count of each phase (default 1500).
+	StepsPerPhase int
+}
+
+// ElasticPhase couples a target pool size with the requests to serve at
+// that size: the driver resizes the pool to Machines, then replays Reqs.
+type ElasticPhase struct {
+	// Name labels the phase (steady, burst, drain).
+	Name string
+	// Machines is the pool size the phase runs at.
+	Machines int
+	// Reqs is the request sequence of the phase.
+	Reqs []jobs.Request
+}
+
+func (c *ElasticConfig) fill() error {
+	if c.BaseMachines == 0 {
+		c.BaseMachines = 4
+	}
+	if c.PeakMachines == 0 {
+		c.PeakMachines = 2 * c.BaseMachines
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 4096
+	}
+	if c.StepsPerPhase == 0 {
+		c.StepsPerPhase = 1500
+	}
+	if c.PeakMachines <= c.BaseMachines {
+		return fmt.Errorf("workload: elastic peak %d must exceed base %d", c.PeakMachines, c.BaseMachines)
+	}
+	if !mathx.IsPow2(c.Horizon) {
+		return fmt.Errorf("workload: elastic horizon %d must be a power of two", c.Horizon)
+	}
+	return nil
+}
+
+// Elastic generates the autoscaling scenario as three phases:
+//
+//  1. steady — churn sized for BaseMachines.
+//  2. burst  — the pool grows to PeakMachines and a burst class (with
+//     its own underallocation budget on the extra machines) arrives on
+//     top of the steady churn; the burst fully drains by the phase end.
+//  3. drain  — the pool shrinks back to BaseMachines and steady churn
+//     continues.
+//
+// The steady class is γ-underallocated for BaseMachines throughout and
+// the burst class for the extra PeakMachines-BaseMachines machines, so
+// every phase is underallocated for its pool — and, crucially, the
+// active set at the scale-down boundary fits the base pool again, which
+// is what keeps shrink evictions re-placeable.
+func Elastic(cfg ElasticConfig) ([]ElasticPhase, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	steady, err := NewGenerator(Config{
+		Seed: cfg.Seed, Machines: cfg.BaseMachines, Gamma: cfg.Gamma,
+		Horizon: cfg.Horizon, Steps: 3 * cfg.StepsPerPhase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	burst, err := NewGenerator(Config{
+		Seed: cfg.Seed + 1, Machines: cfg.PeakMachines - cfg.BaseMachines, Gamma: cfg.Gamma,
+		Horizon: cfg.Horizon, Steps: cfg.StepsPerPhase,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	steadyReqs := func(n int) []jobs.Request {
+		out := make([]jobs.Request, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, renamed(steady.Next(), "steady-"))
+		}
+		return out
+	}
+
+	phase1 := ElasticPhase{Name: "steady", Machines: cfg.BaseMachines, Reqs: steadyReqs(cfg.StepsPerPhase)}
+
+	// Burst phase: interleave steady churn with burst-class requests,
+	// then delete every remaining burst job so the pool can shrink.
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	var p2 []jobs.Request
+	for i := 0; i < cfg.StepsPerPhase; i++ {
+		if rng.Intn(3) == 0 {
+			p2 = append(p2, renamed(steady.Next(), "steady-"))
+		} else {
+			p2 = append(p2, renamed(burst.Next(), "burst-"))
+		}
+	}
+	for _, j := range burst.Active() {
+		p2 = append(p2, jobs.DeleteReq("burst-"+j.Name))
+	}
+	phase2 := ElasticPhase{Name: "burst", Machines: cfg.PeakMachines, Reqs: p2}
+
+	phase3 := ElasticPhase{Name: "drain", Machines: cfg.BaseMachines, Reqs: steadyReqs(cfg.StepsPerPhase)}
+	return []ElasticPhase{phase1, phase2, phase3}, nil
+}

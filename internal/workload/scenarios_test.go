@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/jobs"
@@ -177,5 +178,61 @@ func TestMixedDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("request %d differs", i)
 		}
+	}
+}
+
+func TestElasticScenarioShape(t *testing.T) {
+	phases, err := Elastic(ElasticConfig{Seed: 5, BaseMachines: 4, PeakMachines: 8, StepsPerPhase: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3", len(phases))
+	}
+	wantM := []int{4, 8, 4}
+	wantName := []string{"steady", "burst", "drain"}
+	for i, p := range phases {
+		if p.Machines != wantM[i] {
+			t.Errorf("phase %d machines = %d, want %d", i, p.Machines, wantM[i])
+		}
+		if p.Name != wantName[i] {
+			t.Errorf("phase %d name = %q, want %q", i, p.Name, wantName[i])
+		}
+		if len(p.Reqs) < 400 {
+			t.Errorf("phase %d has %d requests, want >= 400", i, len(p.Reqs))
+		}
+	}
+	// The burst class must fully drain by the end of phase 2, so the
+	// scale-down to the base pool stays feasible.
+	burstActive := map[string]bool{}
+	for _, r := range phases[1].Reqs {
+		if !strings.HasPrefix(r.Name, "burst-") && !strings.HasPrefix(r.Name, "steady-") {
+			t.Fatalf("unexpected job class %q", r.Name)
+		}
+		if strings.HasPrefix(r.Name, "burst-") {
+			if r.Kind == jobs.Insert {
+				burstActive[r.Name] = true
+			} else {
+				delete(burstActive, r.Name)
+			}
+		}
+	}
+	if len(burstActive) != 0 {
+		t.Errorf("%d burst jobs still active at the scale-down boundary", len(burstActive))
+	}
+	// Phases 1 and 3 are steady-only.
+	for _, pi := range []int{0, 2} {
+		for _, r := range phases[pi].Reqs {
+			if !strings.HasPrefix(r.Name, "steady-") {
+				t.Fatalf("phase %d contains non-steady job %q", pi, r.Name)
+			}
+		}
+	}
+	// Defaults validate; an inverted peak does not.
+	if _, err := Elastic(ElasticConfig{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if _, err := Elastic(ElasticConfig{BaseMachines: 8, PeakMachines: 4}); err == nil {
+		t.Error("peak <= base accepted")
 	}
 }

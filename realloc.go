@@ -40,6 +40,8 @@
 package realloc
 
 import (
+	"fmt"
+
 	"repro/internal/alignsched"
 	"repro/internal/core"
 	"repro/internal/edf"
@@ -78,6 +80,15 @@ type (
 	ShardPolicy = shard.Policy
 	// ShardReport is the per-shard cost breakdown of a Sharded scheduler.
 	ShardReport = metrics.ShardReport
+	// ResizeCost is the migration bill of one elastic pool resize; see
+	// Sharded.Resize and Sharded.ResizeShard.
+	ResizeCost = metrics.ResizeCost
+	// ResizeReq is the asynchronous resize request accepted by
+	// Sharded.SubmitResize; failures surface in Drain.
+	ResizeReq = shard.ResizeReq
+	// Snapshot is an atomically captured jobs+assignment view of a
+	// Sharded scheduler; see Sharded.Snapshot and Verify.
+	Snapshot = shard.Snapshot
 )
 
 // Re-exported sentinel errors.
@@ -134,8 +145,10 @@ func WithoutAlignment() Option { return func(o *Options) { o.align = false } }
 // above 2^28 are rejected to bound interval bookkeeping).
 func WithoutTrimming() Option { return func(o *Options) { o.trim = false } }
 
-// WithShards sets the shard count of NewSharded (default 4). New
-// ignores it.
+// WithShards sets the shard count of NewSharded (0, the zero value,
+// means the default of 4; negative counts panic in NewSharded). New
+// ignores it. The same rules hold one layer down in shard.Config,
+// whose default is 1.
 func WithShards(n int) Option { return func(o *Options) { o.shards = n } }
 
 // WithShardPolicy overrides how NewSharded routes job names to primary
@@ -176,13 +189,23 @@ func New(opts ...Option) Scheduler {
 // shard but enforces underallocation only shard-locally, so heavily
 // skewed instances may pay overflow hops; Report exposes the per-shard
 // breakdown.
+//
+// The machine pool is elastic: Resize/ResizeShard (and the async
+// SubmitResize) grow or shrink shards' machine ranges at runtime with
+// bounded migrations — growing never moves a job, shrinking re-places
+// only the jobs of the drained machines.
+//
+// Validation matches shard.New: WithShards(0) — the unset zero value —
+// means the default of 4, and negative shard counts panic. When the
+// machine pool is smaller than the shard count the pool grows so every
+// shard owns at least one machine.
 func NewSharded(opts ...Option) *Sharded {
 	o := defaultOptions(opts)
 	if o.shards == 0 {
 		o.shards = 4
 	}
-	if o.shards < 1 {
-		o.shards = 1
+	if o.shards < 0 {
+		panic(fmt.Sprintf("realloc: WithShards(%d)", o.shards))
 	}
 	if o.machines < o.shards {
 		// Every shard needs at least one machine; grow the pool rather
@@ -194,7 +217,9 @@ func NewSharded(opts ...Option) *Sharded {
 		Machines: o.machines,
 		Policy:   o.policy,
 		Buffer:   o.buffer,
-		Factory:  func(machines int) sched.Scheduler { return buildStack(o, machines) },
+		// Always build the multi-machine wrapper (even for one machine)
+		// so every shard implements sched.Elastic and can be resized.
+		Factory: func(machines int) sched.Scheduler { return buildElasticStack(o, machines) },
 	})
 }
 
@@ -207,18 +232,9 @@ func defaultOptions(opts []Option) Options {
 }
 
 // buildStack composes the Theorem 1 stack over the given machine count:
-// alignment -> round-robin delegation -> trimming -> reservations.
+// alignment -> balanced delegation -> trimming -> reservations.
 func buildStack(o Options, machines int) sched.Scheduler {
-	coreFactory := func() sched.Scheduler { return core.New(core.WithMaxIntervals(1 << 20)) }
-	single := coreFactory
-	if o.trim {
-		gamma := o.gamma
-		if o.deamortize {
-			single = func() sched.Scheduler { return trim.NewIncremental(gamma, coreFactory) }
-		} else {
-			single = func() sched.Scheduler { return trim.New(gamma, coreFactory) }
-		}
-	}
+	single := singleFactory(o)
 	var s sched.Scheduler
 	if machines == 1 {
 		s = single()
@@ -229,6 +245,31 @@ func buildStack(o Options, machines int) sched.Scheduler {
 		s = alignsched.New(s)
 	}
 	return s
+}
+
+// buildElasticStack is buildStack with the multi wrapper always present
+// (even over a single machine), so the result implements sched.Elastic
+// and a sharded front-end can grow or shrink it at runtime.
+func buildElasticStack(o Options, machines int) sched.Scheduler {
+	var s sched.Scheduler = multi.New(machines, multi.Factory(singleFactory(o)))
+	if o.align {
+		s = alignsched.New(s)
+	}
+	return s
+}
+
+// singleFactory builds the per-machine scheduler New composes:
+// trimming (amortized or incremental) over the reservation core.
+func singleFactory(o Options) func() sched.Scheduler {
+	coreFactory := func() sched.Scheduler { return core.New(core.WithMaxIntervals(1 << 20)) }
+	if !o.trim {
+		return coreFactory
+	}
+	gamma := o.gamma
+	if o.deamortize {
+		return func() sched.Scheduler { return trim.NewIncremental(gamma, coreFactory) }
+	}
+	return func() sched.Scheduler { return trim.New(gamma, coreFactory) }
 }
 
 // NewReservation returns the bare single-machine reservation scheduler
@@ -256,6 +297,17 @@ func Run(s Scheduler, reqs []Request) (int, error) { return sched.Run(s, reqs, n
 // indices in range, no two jobs sharing a machine-slot. It complements
 // SelfCheck (which validates internal invariants) with a purely external
 // check any caller can run.
+//
+// For a Sharded scheduler the jobs, the assignment, and the machine
+// count are captured atomically in one control pass (Sharded.Snapshot),
+// so Verify stays sound while other goroutines insert, delete, and
+// resize concurrently. Calling s.Jobs() and s.Assignment() back to back
+// instead is racy: requests that land between the two passes make the
+// views disagree and produce spurious infeasibility reports.
 func Verify(s Scheduler) error {
+	if sh, ok := s.(*shard.Scheduler); ok {
+		snap := sh.Snapshot()
+		return feasible.VerifySchedule(snap.Jobs, snap.Assignment, snap.Machines)
+	}
 	return feasible.VerifySchedule(s.Jobs(), s.Assignment(), s.Machines())
 }
