@@ -1,0 +1,117 @@
+// Architecture-hygiene tests: the layering of the foundation packages
+// is enforced by parsing their imports, so a violation fails CI instead
+// of surviving as an unwritten convention.
+//
+// The sanctioned layering, bottom-up:
+//
+//	mathx, metrics        — stdlib only
+//	jobs                  — the shared model; stdlib + mathx
+//	align                 — pure window geometry; jobs + mathx
+//	sched                 — the interface layer; jobs + metrics
+//	core                  — the paper's reservation scheduler; it may
+//	                        use the model (jobs), the cost currencies
+//	                        (metrics), integer helpers (mathx), window
+//	                        geometry (align), and the interface layer it
+//	                        implements (sched) — and NOTHING else: no
+//	                        wrappers, no workloads, no shard front-end.
+//
+// Everything above (trim, multi, alignsched, shard, workload, ...) may
+// depend downward freely; nothing here may depend upward or sideways.
+package realloc
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// archAllow maps each checked package directory to the internal imports
+// it is allowed, beyond the standard library. An import of any other
+// repro/... package — or of any external module — is a layering
+// violation.
+var archAllow = map[string][]string{
+	"internal/mathx":   {},
+	"internal/metrics": {},
+	"internal/jobs":    {"repro/internal/mathx"},
+	"internal/align":   {"repro/internal/jobs", "repro/internal/mathx"},
+	"internal/sched":   {"repro/internal/jobs", "repro/internal/metrics"},
+	"internal/core": {
+		"repro/internal/align",
+		"repro/internal/jobs",
+		"repro/internal/mathx",
+		"repro/internal/metrics",
+		"repro/internal/sched",
+	},
+}
+
+func TestArchFoundationImports(t *testing.T) {
+	fset := token.NewFileSet()
+	for dir, allowList := range archAllow {
+		allowed := make(map[string]bool, len(allowList))
+		for _, p := range allowList {
+			allowed[p] = true
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		checked := 0
+		for _, entry := range entries {
+			name := entry.Name()
+			if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Errorf("parse %s: %v", path, err)
+				continue
+			}
+			checked++
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				switch {
+				case strings.HasPrefix(p, "repro/"):
+					if !allowed[p] {
+						t.Errorf("%s imports %s — not in %s's sanctioned layer set %v",
+							path, p, dir, allowList)
+					}
+				case strings.Contains(p, "."):
+					t.Errorf("%s imports external module %s — foundation packages are stdlib-only", path, p)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Errorf("%s: no non-test Go files checked — did the package move?", dir)
+		}
+	}
+}
+
+// TestArchNoUpwardImports: no internal package may import the root
+// package (repro) — the public API depends on the internals, never the
+// reverse.
+func TestArchNoUpwardImports(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			t.Errorf("parse %s: %v", path, perr)
+			return nil
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "repro" {
+				t.Errorf("%s imports the root package — internals must not depend on the public API", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,8 @@
 //	reallocbench -shards 1,2,4,8,16 -drivers 16 -out bench.json
 //	reallocbench -quick                   # small parameters for smoke runs
 //	reallocbench -scenario elastic        # autoscaling: elastic resize vs rebuild, BENCH_PR2.json
+//	reallocbench -scenario burst -batch 64  # arrival/departure waves, batched vs
+//	                                        # per-request admission, BENCH_PR3.json
 package main
 
 import (
@@ -44,6 +46,7 @@ type Report struct {
 type Run struct {
 	Name          string       `json:"name"`
 	Shards        int          `json:"shards"` // 0 = sequential (unsharded) stack
+	Batch         int          `json:"batch,omitempty"`
 	Drivers       int          `json:"drivers"`
 	Served        int          `json:"served"`
 	Failures      int          `json:"failures"`
@@ -73,11 +76,12 @@ type ShardStats struct {
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, sliding, or elastic")
+		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, sliding, burst, or elastic")
 		machines = flag.Int("machines", 8, "total machine pool")
 		requests = flag.Int("requests", 20000, "request count (scenario permitting)")
 		shardSet = flag.String("shards", "1,4,8", "comma-separated shard counts for the sharded runs")
 		drivers  = flag.Int("drivers", 8, "concurrent driver goroutines for the sharded runs")
+		batch    = flag.Int("batch", 0, "add batched (ApplyBatch) runs with this chunk size; 0 disables (burst defaults to 512)")
 		seed     = flag.Int64("seed", 1, "scenario seed")
 		out      = flag.String("out", "BENCH_PR1.json", "output JSON path")
 		quick    = flag.Bool("quick", false, "small parameters for smoke runs")
@@ -86,6 +90,19 @@ func main() {
 
 	if *quick {
 		*requests = 2000
+	}
+	if *scenario == "burst" {
+		// The burst scenario exists to compare batched vs per-request
+		// admission; default the batch size and the report name. The
+		// default chunk is sized for the shard fan-out: a driver's chunk
+		// spreads across every shard, so chunks well above the shard
+		// count amortize the per-shard round trip.
+		if *batch == 0 {
+			*batch = 512
+		}
+		if *out == "BENCH_PR1.json" {
+			*out = "BENCH_PR3.json"
+		}
 	}
 	if *scenario == "elastic" {
 		if *out == "BENCH_PR1.json" {
@@ -118,16 +135,30 @@ func main() {
 
 	seqRun := runSequential(reqs, *machines)
 	rep.Runs = append(rep.Runs, seqRun)
-	fmt.Printf("%-14s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
+	fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
 		seqRun.Name, seqRun.ThroughputRPS, seqRun.P50LatencyUS, seqRun.P99LatencyUS,
 		seqRun.Reallocations, seqRun.Migrations, seqRun.Failures)
+	if *batch > 1 {
+		r := runSequentialBatched(reqs, *machines, *batch)
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
+			r.Name, r.ThroughputRPS, r.P50LatencyUS, r.P99LatencyUS,
+			r.Reallocations, r.Migrations, r.Failures)
+	}
 
 	for _, s := range shardCounts {
 		r := runSharded(reqs, *machines, s, *drivers)
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("%-14s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
+		fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
 			r.Name, r.ThroughputRPS, r.P50LatencyUS, r.P99LatencyUS,
 			r.Reallocations, r.Migrations, r.Failures, r.Overflow)
+		if *batch > 1 {
+			b := runShardedBatched(reqs, *machines, s, *drivers, *batch)
+			rep.Runs = append(rep.Runs, b)
+			fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
+				b.Name, b.ThroughputRPS, b.P50LatencyUS, b.P99LatencyUS,
+				b.Reallocations, b.Migrations, b.Failures, b.Overflow)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -155,8 +186,21 @@ func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Requ
 		return workload.Clinic(workload.ClinicConfig{Seed: seed})
 	case "sliding":
 		return workload.Sliding(workload.SlidingConfig{Seed: seed, Steps: requests})
+	case "burst":
+		cfg := workload.BurstConfig{Seed: seed, Machines: machines}
+		if err := (&cfg).Fill(); err != nil {
+			return nil, err
+		}
+		// Scale the wave count to the requested sequence length; each
+		// wave pair is roughly 2*WaveSize requests.
+		if waves := requests / (2 * cfg.WaveSize); waves > 0 {
+			cfg.Waves = waves
+		} else {
+			cfg.Waves = 1
+		}
+		return workload.Burst(cfg)
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, sliding, or elastic)", name)
+		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, sliding, burst, or elastic)", name)
 	}
 }
 
@@ -215,6 +259,147 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
 	}, wall, lat)
+}
+
+// runSequentialBatched replays the scenario single-threaded through the
+// plain stack's bulk path in chunks of `batch`. Each request in a chunk
+// is charged the chunk's wall time as its latency — that is what a
+// caller queueing behind the batch observes.
+func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
+	s := realloc.New(realloc.WithMachines(machines))
+	lat := make([]time.Duration, 0, len(reqs))
+	failed := make(map[string]bool)
+	var reallocs, migrations, failures, served int
+	start := time.Now()
+	for off := 0; off < len(reqs); off += batch {
+		end := off + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := filterFailed(reqs[off:end], failed)
+		if len(chunk) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		costs, err := realloc.ApplyBatch(s, chunk)
+		chunkLat := time.Since(t0)
+		var be *realloc.BatchError
+		if err != nil {
+			be, _ = err.(*realloc.BatchError)
+		}
+		for i, r := range chunk {
+			lat = append(lat, chunkLat)
+			if be != nil && be.At(i) != nil {
+				failures++
+				if r.Kind == jobs.Insert {
+					failed[r.Name] = true
+				}
+				continue
+			}
+			served++
+			reallocs += costs[i].Reallocations
+			migrations += costs[i].Migrations
+		}
+	}
+	wall := time.Since(start)
+	return finishRun(Run{
+		Name: fmt.Sprintf("sequential-batch%d", batch), Shards: 0, Batch: batch, Drivers: 1,
+		Served: served, Failures: failures,
+		Reallocations: reallocs, Migrations: migrations,
+	}, wall, lat)
+}
+
+// filterFailed drops deletes of jobs whose insert already failed.
+func filterFailed(chunk []jobs.Request, failed map[string]bool) []jobs.Request {
+	out := make([]jobs.Request, 0, len(chunk))
+	for _, r := range chunk {
+		if r.Kind == jobs.Delete && failed[r.Name] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// runShardedBatched replays the scenario against the sharded front-end
+// from `drivers` concurrent goroutines, each carving its name-
+// partitioned lane into chunks of `batch` served via ApplyBatch.
+func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int) Run {
+	s := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+	defer s.Close()
+
+	lanes := make([][]jobs.Request, drivers)
+	for _, r := range reqs {
+		h := fnv.New64a()
+		h.Write([]byte(r.Name))
+		lane := int(h.Sum64() % uint64(drivers))
+		lanes[lane] = append(lanes[lane], r)
+	}
+
+	laneLat := make([][]time.Duration, drivers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for lane, rs := range lanes {
+		wg.Add(1)
+		go func(lane int, rs []jobs.Request) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, len(rs))
+			failed := make(map[string]bool)
+			for off := 0; off < len(rs); off += batch {
+				end := off + batch
+				if end > len(rs) {
+					end = len(rs)
+				}
+				chunk := filterFailed(rs[off:end], failed)
+				if len(chunk) == 0 {
+					continue
+				}
+				t0 := time.Now()
+				_, err := s.ApplyBatch(chunk)
+				chunkLat := time.Since(t0)
+				var be *realloc.BatchError
+				if err != nil {
+					be, _ = err.(*realloc.BatchError)
+				}
+				for i, r := range chunk {
+					lat = append(lat, chunkLat)
+					if be != nil && be.At(i) != nil && r.Kind == jobs.Insert {
+						failed[r.Name] = true
+					}
+				}
+			}
+			laneLat[lane] = lat
+		}(lane, rs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lat []time.Duration
+	for _, l := range laneLat {
+		lat = append(lat, l...)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	run := Run{
+		Name:          fmt.Sprintf("sharded-%d-batch%d", shards, batch),
+		Shards:        shards,
+		Batch:         batch,
+		Drivers:       drivers,
+		Served:        rep.Served(),
+		Failures:      tot.Failures,
+		Overflow:      tot.Overflow,
+		Reallocations: tot.Cost.Reallocations,
+		Migrations:    tot.Cost.Migrations,
+	}
+	for _, sc := range rep.Shards {
+		run.ShardDetail = append(run.ShardDetail, ShardStats{
+			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,
+			Failures: sc.Failures, Rerouted: sc.Rerouted, Overflow: sc.Overflow,
+			Batches: sc.Batches, Active: sc.Active,
+			Reallocations: sc.Cost.Reallocations, Migrations: sc.Cost.Migrations,
+		})
+	}
+	return finishRun(run, wall, lat)
 }
 
 // runSharded replays the scenario against the sharded front-end from

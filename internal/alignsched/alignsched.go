@@ -21,6 +21,17 @@ import (
 type Scheduler struct {
 	inner     sched.Scheduler
 	originals map[string]jobs.Window
+
+	// evicted accumulates jobs the inner scheduler's batch rebuilds
+	// shed; see sched.BatchEvictor.
+	evicted []string
+}
+
+// TakeBatchEvictions implements sched.BatchEvictor.
+func (s *Scheduler) TakeBatchEvictions() []string {
+	ev := s.evicted
+	s.evicted = nil
+	return ev
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)

@@ -1,0 +1,113 @@
+// Batched admission for the alignment wrapper: window replacement is a
+// pure per-request transformation, so ApplyBatch aligns every insert's
+// window, resolves the statically certain rejections (malformed or
+// pre-zero windows, duplicates of committed jobs, deletes of names the
+// batch cannot have created) in one pass, and forwards the surviving
+// requests to the inner scheduler's bulk path in one call. Requests
+// whose verdict depends on the outcome of an earlier request in the
+// same batch (a duplicate of, or a delete of, a name the batch itself
+// inserts) are delegated — the inner layers run the same duplicate and
+// existence checks with the same sentinel errors, so the observable
+// behavior matches the sequential path either way.
+package alignsched
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+var _ sched.BatchScheduler = (*Scheduler)(nil)
+
+// ApplyBatch aligns, prevalidates, and forwards the batch. See
+// sched.BatchScheduler for the shared bulk semantics.
+func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
+	costs := make([]metrics.Cost, len(reqs))
+	errs := make([]error, len(reqs))
+
+	// Copy-on-write overlays over the committed originals, tracking only
+	// batch-touched names. present: the name is certainly active
+	// (committed, not deleted by the batch so far). pending: the batch
+	// inserts the name, success still unknown.
+	present := make(map[string]bool, len(reqs))
+	isPresent := func(name string) bool {
+		if v, ok := present[name]; ok {
+			return v
+		}
+		_, ok := s.originals[name]
+		return ok
+	}
+	pending := make(map[string]bool)
+
+	innerReqs := make([]jobs.Request, 0, len(reqs))
+	innerIdx := make([]int, 0, len(reqs)) // inner position -> batch index
+	origWin := make([]jobs.Window, len(reqs))
+
+	for i, r := range reqs {
+		switch r.Kind {
+		case jobs.Insert:
+			j := jobs.Job{Name: r.Name, Window: r.Window}
+			if err := j.Validate(); err != nil {
+				errs[i] = err
+				continue
+			}
+			if j.Window.End <= 0 {
+				errs[i] = fmt.Errorf("alignsched: window %v lies entirely before time 0", j.Window)
+				continue
+			}
+			if isPresent(r.Name) {
+				errs[i] = fmt.Errorf("%w: %q", sched.ErrDuplicateJob, r.Name)
+				continue
+			}
+			aligned := align.Aligned(j.Window)
+			innerReqs = append(innerReqs, jobs.Request{Kind: jobs.Insert, Name: r.Name, Window: aligned})
+			innerIdx = append(innerIdx, i)
+			origWin[i] = j.Window
+			pending[r.Name] = true
+		case jobs.Delete:
+			if !isPresent(r.Name) && !pending[r.Name] {
+				errs[i] = fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
+				continue
+			}
+			innerReqs = append(innerReqs, r)
+			innerIdx = append(innerIdx, i)
+			present[r.Name] = false
+			delete(pending, r.Name)
+		default:
+			errs[i] = fmt.Errorf("sched: unknown request kind %d", r.Kind)
+		}
+	}
+
+	cs, err := sched.ApplyBatch(s.inner, innerReqs)
+	for _, name := range sched.TakeBatchEvictions(s.inner) {
+		delete(s.originals, name)
+		s.evicted = append(s.evicted, name)
+	}
+	var be *sched.BatchError
+	if err != nil {
+		be, _ = err.(*sched.BatchError)
+	}
+	for k, i := range innerIdx {
+		costs[i] = cs[k]
+		var e error
+		switch {
+		case be != nil:
+			e = be.At(k)
+		case err != nil:
+			e = err
+		}
+		errs[i] = e
+		if e != nil {
+			continue
+		}
+		if reqs[i].Kind == jobs.Insert {
+			s.originals[reqs[i].Name] = origWin[i]
+		} else {
+			delete(s.originals, reqs[i].Name)
+		}
+	}
+	return costs, sched.NewBatchError(errs)
+}

@@ -218,13 +218,21 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if _, dup := s.jobs[j.Name]; dup {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
-	js := &jobState{name: j.Name, key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
-	if js.level > 0 {
-		if n := js.key.span / align.IntervalSpan(js.level); n > s.maxIntervals {
+	if level := align.LevelOfSpan(j.Window.Span()); level > 0 {
+		if n := j.Window.Span() / align.IntervalSpan(level); n > s.maxIntervals {
 			return metrics.Cost{}, fmt.Errorf("core: window %v spans %d intervals, exceeding the cap %d (wrap with trim)",
 				j.Window, n, s.maxIntervals)
 		}
 	}
+	return s.insertPrevalidated(j)
+}
+
+// insertPrevalidated runs the insert machinery for a job that already
+// passed the static admission checks (well-formed, aligned, not a
+// duplicate, under the interval cap). It is the execution half of
+// Insert, shared with the batch path.
+func (s *Scheduler) insertPrevalidated(j jobs.Job) (metrics.Cost, error) {
+	js := &jobState{name: j.Name, key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
 	s.cost = metrics.Cost{}
 	s.levelCost = [align.NumLevels]int{}
 
@@ -260,6 +268,12 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	if !ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
 	}
+	return s.deletePrevalidated(j)
+}
+
+// deletePrevalidated runs the delete machinery for an active job state.
+// It is the execution half of Delete, shared with the batch path.
+func (s *Scheduler) deletePrevalidated(j *jobState) (metrics.Cost, error) {
 	s.cost = metrics.Cost{}
 	s.levelCost = [align.NumLevels]int{}
 	var err error
@@ -269,10 +283,10 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 		err = s.reservedDelete(j)
 	}
 	if err != nil {
-		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", name, err)
+		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", j.name, err)
 		return s.cost, err
 	}
-	delete(s.jobs, name)
+	delete(s.jobs, j.name)
 	return s.cost, nil
 }
 

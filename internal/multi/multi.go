@@ -61,6 +61,10 @@ type Scheduler struct {
 	// so the cap decays back to the strict invariant without bulk
 	// migrations.
 	skewCap map[winKey]int
+
+	// evicted accumulates jobs the machines' batch rebuilds shed; see
+	// sched.BatchEvictor.
+	evicted []string
 }
 
 type stringSet map[string]struct{}

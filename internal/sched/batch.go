@@ -1,0 +1,244 @@
+// Batched admission: the paper's reallocation bounds are amortized over
+// request *sequences*, so a caller that already holds a sequence (an
+// arrival wave, a drained queue, a replayed log) should not pay full
+// per-request dispatch, locking, and trim/repair overhead for every
+// element. BatchScheduler is the optional bulk interface the amortized
+// implementations provide; ApplyBatch is the uniform entry point that
+// falls back to per-request application for schedulers without one.
+//
+// Batch semantics, shared by every implementation in this repository:
+//
+//   - Requests execute in order. A failed request does not abort the
+//     batch; its error is recorded and the remaining requests run.
+//   - The returned cost slice is parallel to the request slice.
+//   - The error is nil when every request succeeded, otherwise a
+//     *BatchError carrying the per-request errors.
+//   - On sequences where no request fails (e.g. γ-underallocated
+//     streams), the final schedule is identical to applying the same
+//     requests one at a time with Apply. Per-request costs may differ —
+//     that is the amortization — but the migration bound (at most one
+//     migration per request) is preserved.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+)
+
+// BatchScheduler is implemented by schedulers with an amortized bulk
+// admission path. ApplyBatch serves the whole request slice, returning
+// one cost per request and a *BatchError aggregating any per-request
+// failures.
+type BatchScheduler interface {
+	ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error)
+}
+
+// BatchError aggregates the per-request failures of one batch. Errs is
+// parallel to the request slice (nil entries are successes), so callers
+// can map failures back to requests by index. errors.Is and errors.As
+// traverse every recorded failure via Unwrap.
+type BatchError struct {
+	// Failed is the number of requests that failed.
+	Failed int
+	// Errs has one entry per request of the batch; nil means success.
+	Errs []error
+	// Evicted names active jobs (admitted by earlier requests) that the
+	// batch's rebuild recheck shed because they no longer fit the
+	// shrunken trim cap. Evictions are not request failures — the
+	// requests of this batch may all have succeeded — and occur only on
+	// streams that are not sufficiently underallocated.
+	Evicted []string
+}
+
+// WithEvictions attaches shed-job names to a batch error, creating one
+// when every request succeeded. It returns err unchanged when there is
+// nothing to attach.
+func WithEvictions(err error, evicted []string) error {
+	if len(evicted) == 0 {
+		return err
+	}
+	be, ok := err.(*BatchError)
+	if !ok {
+		if err != nil {
+			return err // never swallow a structural (non-batch) error
+		}
+		be = &BatchError{}
+	}
+	be.Evicted = append(be.Evicted, evicted...)
+	return be
+}
+
+// NewBatchError builds a *BatchError from a per-request error slice, or
+// returns nil when every entry is nil. The slice is retained.
+func NewBatchError(errs []error) error {
+	failed := 0
+	for _, e := range errs {
+		if e != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	return &BatchError{Failed: failed, Errs: errs}
+}
+
+// Error summarizes the failure count, the first failure, and any
+// evictions.
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	b.WriteString("sched:")
+	if e.Failed > 0 {
+		i, first := e.First()
+		fmt.Fprintf(&b, " %d of %d batched request(s) failed, first at index %d: %v",
+			e.Failed, len(e.Errs), i, first)
+	}
+	if len(e.Evicted) > 0 {
+		if e.Failed > 0 {
+			b.WriteString(";")
+		}
+		fmt.Fprintf(&b, " batch rebuild shed %d active job(s) infeasible at the new cap: %s",
+			len(e.Evicted), strings.Join(e.Evicted, ", "))
+	}
+	return b.String()
+}
+
+// First returns the index and error of the first failed request.
+func (e *BatchError) First() (int, error) {
+	for i, err := range e.Errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// At returns the error of request i (nil for successes).
+func (e *BatchError) At(i int) error {
+	if i < 0 || i >= len(e.Errs) {
+		return nil
+	}
+	return e.Errs[i]
+}
+
+// Unwrap exposes the per-request failures to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, e.Failed)
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// BatchEvictor is implemented by bulk schedulers that can shed jobs
+// during a batch: on streams that are not sufficiently underallocated,
+// a trim rebuild's feasibility recheck may find a job admitted in an
+// earlier request no longer fits the shrunken cap and drop it (the
+// batch's error names it). TakeBatchEvictions returns and clears the
+// names shed by the most recent ApplyBatch call, so wrapping layers can
+// erase their own bookkeeping for those jobs; every wrapper in this
+// repository drains its inner scheduler after each bulk call and
+// re-exposes the names to the layer above.
+type BatchEvictor interface {
+	TakeBatchEvictions() []string
+}
+
+// TakeBatchEvictions drains s's batch evictions, or returns nil for
+// schedulers that never shed jobs.
+func TakeBatchEvictions(s Scheduler) []string {
+	if e, ok := s.(BatchEvictor); ok {
+		return e.TakeBatchEvictions()
+	}
+	return nil
+}
+
+// ApplyBatch routes a request slice to the scheduler's bulk path when it
+// has one, and otherwise applies the requests one at a time with the
+// same observable semantics (in-order execution, no abort on failure).
+func ApplyBatch(s Scheduler, reqs []jobs.Request) ([]metrics.Cost, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if b, ok := s.(BatchScheduler); ok {
+		return b.ApplyBatch(reqs)
+	}
+	costs := make([]metrics.Cost, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		costs[i], errs[i] = Apply(s, r)
+	}
+	return costs, NewBatchError(errs)
+}
+
+// RunBatched feeds a request sequence to the scheduler in chunks of
+// batchSize through ApplyBatch, recording per-request costs. Like Run it
+// stops at the first error and returns the index of the first failing
+// request — but because failure detection happens at chunk granularity,
+// requests after the failure within the failing chunk may already have
+// been applied (bulk-admission semantics; use Run for strict
+// stop-on-first-error behavior).
+func RunBatched(s Scheduler, reqs []jobs.Request, batchSize int, rec *metrics.Recorder) (int, error) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for off := 0; off < len(reqs); off += batchSize {
+		end := off + batchSize
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := reqs[off:end]
+		costs, err := ApplyBatch(s, chunk)
+		// Drain batch evictions every chunk: a shed job must surface on
+		// the chunk that shed it, never leak silently out of Run or get
+		// misattributed to a later bulk call on the same scheduler.
+		if ev := TakeBatchEvictions(s); len(ev) > 0 {
+			err = WithEvictions(err, ev)
+		}
+		if err != nil {
+			var be *BatchError
+			if asBatchError(err, &be) {
+				k, first := be.First()
+				if k < 0 {
+					// Eviction-only error: every request in the chunk was
+					// applied, but the batch shed active jobs. Record the
+					// whole chunk and stop after it.
+					if rec != nil {
+						for _, c := range costs {
+							rec.Record(c, s.Active())
+						}
+					}
+					return end, err
+				}
+				// Record the served prefix of the chunk.
+				if rec != nil {
+					for i := 0; i < k; i++ {
+						rec.Record(costs[i], s.Active())
+					}
+				}
+				return off + k, fmt.Errorf("request %d (%s): %w", off+k, chunk[k], first)
+			}
+			return off, err
+		}
+		if rec != nil {
+			for _, c := range costs {
+				rec.Record(c, s.Active())
+			}
+		}
+	}
+	return len(reqs), nil
+}
+
+// asBatchError is errors.As specialized to *BatchError without pulling
+// errors into the hot path.
+func asBatchError(err error, target **BatchError) bool {
+	be, ok := err.(*BatchError)
+	if ok {
+		*target = be
+	}
+	return ok
+}

@@ -1,0 +1,122 @@
+package sched_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/naive"
+	"repro/internal/sched"
+)
+
+func TestNewBatchErrorNilOnSuccess(t *testing.T) {
+	if err := sched.NewBatchError([]error{nil, nil, nil}); err != nil {
+		t.Fatalf("all-success batch reported %v", err)
+	}
+	if err := sched.NewBatchError(nil); err != nil {
+		t.Fatalf("empty batch reported %v", err)
+	}
+}
+
+func TestBatchErrorMapsFailuresToIndices(t *testing.T) {
+	e0 := errors.New("boom")
+	err := sched.NewBatchError([]error{nil, e0, nil, sched.ErrUnknownJob})
+	var be *sched.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("NewBatchError returned %T", err)
+	}
+	if be.Failed != 2 {
+		t.Errorf("Failed = %d, want 2", be.Failed)
+	}
+	if i, first := be.First(); i != 1 || first != e0 {
+		t.Errorf("First() = (%d, %v), want (1, boom)", i, first)
+	}
+	if be.At(0) != nil || be.At(1) != e0 || be.At(3) == nil || be.At(99) != nil {
+		t.Error("At() does not index the per-request errors")
+	}
+	if !errors.Is(err, sched.ErrUnknownJob) {
+		t.Error("errors.Is does not traverse the recorded failures")
+	}
+	if !strings.Contains(err.Error(), "index 1") {
+		t.Errorf("summary lacks first failure index: %v", err)
+	}
+}
+
+// TestApplyBatchFallbackMatchesSequential: a scheduler without a bulk
+// path gets the per-request loop with identical outcomes.
+func TestApplyBatchFallbackMatchesSequential(t *testing.T) {
+	reqs := []jobs.Request{
+		jobs.InsertReq("a", 0, 4),
+		jobs.InsertReq("a", 0, 4), // duplicate
+		jobs.InsertReq("b", 4, 8),
+		jobs.DeleteReq("a"),
+		jobs.DeleteReq("ghost"), // unknown
+	}
+	batched := naive.New()
+	costs, err := sched.ApplyBatch(batched, reqs)
+	if len(costs) != len(reqs) {
+		t.Fatalf("got %d costs for %d requests", len(costs), len(reqs))
+	}
+	var be *sched.BatchError
+	if !errors.As(err, &be) || be.Failed != 2 {
+		t.Fatalf("want 2 failures, got %v", err)
+	}
+	if !errors.Is(be.At(1), sched.ErrDuplicateJob) || !errors.Is(be.At(4), sched.ErrUnknownJob) {
+		t.Errorf("failure indices wrong: %v", err)
+	}
+
+	seq := naive.New()
+	for _, r := range reqs {
+		_, _ = sched.Apply(seq, r)
+	}
+	if len(seq.Assignment()) != len(batched.Assignment()) {
+		t.Errorf("fallback diverged: %d vs %d jobs", len(batched.Assignment()), len(seq.Assignment()))
+	}
+}
+
+func TestRunBatchedStopsAtFirstFailedRequest(t *testing.T) {
+	s := naive.New()
+	reqs := []jobs.Request{
+		jobs.InsertReq("a", 0, 1),
+		jobs.InsertReq("b", 0, 1), // infeasible: slot 0 taken
+		jobs.InsertReq("c", 4, 8),
+	}
+	rec := metrics.NewRecorder()
+	n, err := sched.RunBatched(s, reqs, 2, rec)
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n != 1 {
+		t.Errorf("first failure at %d, want 1", n)
+	}
+	if rec.Len() != 1 {
+		t.Errorf("recorded %d costs, want the served prefix of the failing chunk", rec.Len())
+	}
+	if !strings.Contains(err.Error(), "request 1") {
+		t.Errorf("error lacks the global request index: %v", err)
+	}
+}
+
+func TestRunBatchedServesEverything(t *testing.T) {
+	s := naive.New()
+	reqs := []jobs.Request{
+		jobs.InsertReq("a", 0, 4),
+		jobs.InsertReq("b", 0, 4),
+		jobs.DeleteReq("a"),
+		jobs.InsertReq("c", 0, 4),
+		jobs.DeleteReq("b"),
+	}
+	rec := metrics.NewRecorder()
+	n, err := sched.RunBatched(s, reqs, 2, rec)
+	if err != nil || n != len(reqs) {
+		t.Fatalf("RunBatched = (%d, %v), want (%d, nil)", n, err, len(reqs))
+	}
+	if rec.Len() != len(reqs) {
+		t.Errorf("recorded %d costs, want %d", rec.Len(), len(reqs))
+	}
+	if s.Active() != 1 {
+		t.Errorf("active = %d, want 1", s.Active())
+	}
+}

@@ -1,0 +1,404 @@
+// Batched admission for the sharded front-end. ApplyBatch groups a
+// request batch by target shard in one routing pass (inserts by the
+// routing policy, deletes by the routing table — a delete of a name the
+// batch itself inserts rides in the same group, after its insert), fans
+// the per-shard sub-batches out to the shard workers concurrently as
+// single control tasks, and reconciles the failures that need a second
+// placement — inserts a shard rejected as locally infeasible (the
+// overflow path) and deletes whose job a concurrent resize migrated
+// away (the chase path) — in ONE second pass instead of one hop per
+// request.
+//
+// Compared to per-request Apply, a batch pays one routing-table lock
+// acquisition per request but only one channel round trip per involved
+// shard, and each shard serves its sub-batch through the inner stack's
+// own bulk path (alignment -> balanced delegation -> trimming), so the
+// trim layer's rebuild coalescing applies per shard sub-batch.
+//
+// Ordering: requests on the same shard execute in batch order; requests
+// on different shards execute concurrently, exactly like independent
+// Apply calls from different goroutines. Per-name ordering is preserved
+// because a name's insert and delete always land in the same group.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+var _ sched.BatchScheduler = (*Scheduler)(nil)
+
+// ApplyBatch serves the batch with shard-parallel sub-batches. It is
+// synchronous (like Apply) and safe for concurrent use. See
+// sched.BatchScheduler for the shared bulk semantics; after Close every
+// request fails with ErrClosed.
+func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
+	costs := make([]metrics.Cost, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return costs, nil
+	}
+	if s.isClosed() {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return costs, sched.NewBatchError(errs)
+	}
+
+	groups, shardOf, deferred := s.routeBatch(reqs, errs)
+	var shed []string
+	s.fanOut(groups, reqs, costs, errs, nil, &shed)
+	s.reconcile(reqs, shardOf, deferred, costs, errs, &shed)
+	return costs, sched.WithEvictions(sched.NewBatchError(errs), shed)
+}
+
+// routeBatch validates and routes every request, reserving insert names
+// in the routing table (so concurrent inserts of the same name are
+// rejected as duplicates, exactly like the per-request path). The whole
+// batch is routed under ONE routing-table lock acquisition — the main
+// front-end amortization — with two exceptions: deletes of
+// resize-migrating jobs take a slow path that waits the migration out,
+// and a re-insert of a name the batch deletes on a DIFFERENT shard than
+// its routing primary is deferred to the reconcile pass (it must not
+// execute before the delete, and cross-shard sub-batches are
+// unordered). Same-name request chains on one shard ride in one group,
+// in batch order, so a batch may freely insert, delete, and re-insert a
+// name — exactly like back-to-back Apply calls.
+//
+// It returns the per-shard groups of batch indices (in batch order),
+// each routed request's shard (-1 when not routed in pass 1), and the
+// deferred request indices.
+func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []int, []int) {
+	groups := make([][]int, len(s.workers))
+	shardOf := make([]int, len(reqs))
+	primaries := make([]int, len(reqs))
+	for i, r := range reqs {
+		shardOf[i] = -1
+		primaries[i] = -1
+		if err := r.Validate(); err != nil {
+			errs[i] = err
+		} else if r.Kind == jobs.Insert {
+			primaries[i] = s.policy.Route(r.Name, len(s.workers))
+		}
+	}
+
+	// Per-name batch state: live tracks names an in-batch insert owns
+	// (value: its shard), deletedAt names whose latest in-batch request
+	// is a delete (value: the delete's shard), deferredName names whose
+	// chain moved to the reconcile pass — every later request on such a
+	// name defers too, preserving its order.
+	live := make(map[string]int, len(reqs))
+	deletedAt := make(map[string]int, len(reqs))
+	deferredName := make(map[string]bool)
+	var deferred []int
+	var slow []int // deletes of resize-migrating jobs
+	s.mu.Lock()
+	for i, r := range reqs {
+		if errs[i] != nil {
+			continue
+		}
+		if deferredName[r.Name] {
+			deferred = append(deferred, i)
+			continue
+		}
+		switch r.Kind {
+		case jobs.Insert:
+			if _, isLive := live[r.Name]; isLive {
+				errs[i] = duplicateErr(r.Name)
+				continue
+			}
+			if ds, wasDeleted := deletedAt[r.Name]; wasDeleted {
+				// Re-insert after an in-batch delete. On the same shard it
+				// rides behind the delete (the existing byJob entry keeps
+				// blocking concurrent inserts); across shards it defers.
+				if primaries[i] == ds {
+					s.inflight[ds]++
+					shardOf[i] = ds
+					groups[ds] = append(groups[ds], i)
+					live[r.Name] = ds
+					delete(deletedAt, r.Name)
+					continue
+				}
+				deferredName[r.Name] = true
+				deferred = append(deferred, i)
+				continue
+			}
+			if _, dup := s.byJob[r.Name]; dup {
+				errs[i] = duplicateErr(r.Name)
+				continue
+			}
+			s.byJob[r.Name] = reservedShard
+			s.inflight[primaries[i]]++
+			shardOf[i] = primaries[i]
+			groups[primaries[i]] = append(groups[primaries[i]], i)
+			live[r.Name] = primaries[i]
+		case jobs.Delete:
+			// A delete of a name this batch owns rides behind it on the
+			// same shard; its outcome then follows the chain's outcome,
+			// like back-to-back Apply calls would.
+			if si, isLive := live[r.Name]; isLive {
+				shardOf[i] = si
+				groups[si] = append(groups[si], i)
+				delete(live, r.Name)
+				deletedAt[r.Name] = si
+				continue
+			}
+			if ds, wasDeleted := deletedAt[r.Name]; wasDeleted {
+				// Double delete: execute on the chain's shard, where the
+				// inner scheduler reports the truthful verdict.
+				shardOf[i] = ds
+				groups[ds] = append(groups[ds], i)
+				continue
+			}
+			idx, ok := s.byJob[r.Name]
+			switch {
+			case !ok || idx == reservedShard:
+				errs[i] = fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
+			case idx >= 0:
+				shardOf[i] = idx
+				groups[idx] = append(groups[idx], i)
+				deletedAt[r.Name] = idx
+			default:
+				slow = append(slow, i)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Slow path: deletes of jobs a concurrent pool shrink is migrating.
+	// They join their group after the fast-routed requests, which only
+	// reorders them relative to unrelated names.
+	for _, i := range slow {
+		idx, err := s.resolveDeleteShard(reqs[i].Name)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		shardOf[i] = idx
+		groups[idx] = append(groups[idx], i)
+	}
+	return groups, shardOf, deferred
+}
+
+// fanOut sends every non-empty group to its shard worker as one control
+// task and waits for all of them. A non-nil overflow set marks the
+// reconcile round (failures are terminal there) and names the requests
+// that are genuine overflow retries (counted as Overflow on success).
+func (s *Scheduler) fanOut(groups [][]int, reqs []jobs.Request, costs []metrics.Cost, errs []error, overflow map[int]bool, shed *[]string) {
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		si, idxs := si, idxs
+		wg.Add(1)
+		err := s.send(si, task{ctrlDone: &wg, ctrl: func(inner sched.Scheduler, st *metrics.ShardCost) {
+			s.execBatchOn(si, inner, st, reqs, idxs, costs, errs, overflow, shed)
+		}})
+		if err != nil {
+			wg.Done()
+			s.mu.Lock()
+			for _, i := range idxs {
+				errs[i] = err
+				if reqs[i].Kind != jobs.Insert {
+					continue
+				}
+				s.inflight[si]--
+				// Only drop an actual reservation: a ride-behind
+				// re-insert holds none — the byJob entry still belongs
+				// to the committed job whose delete (in this same failed
+				// group) never ran.
+				if v, ok := s.byJob[reqs[i].Name]; ok && v == reservedShard {
+					delete(s.byJob, reqs[i].Name)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	wg.Wait()
+}
+
+// execBatchOn runs one shard's sub-batch on the worker goroutine: it
+// serves the requests through the inner scheduler's bulk path, folds
+// the per-request statistics, and commits the routing-table bookkeeping
+// before the control task finishes — so self-checks and snapshots
+// queued behind the batch observe a consistent shard.
+func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.ShardCost, reqs []jobs.Request, idxs []int, costs []metrics.Cost, errs []error, overflow map[int]bool, shedOut *[]string) {
+	sub := make([]jobs.Request, len(idxs))
+	for k, i := range idxs {
+		sub[k] = reqs[i]
+	}
+	cs, err := sched.ApplyBatch(inner, sub)
+	var be *sched.BatchError
+	if err != nil {
+		be, _ = err.(*sched.BatchError)
+	}
+	st.Batches++
+	retryable := overflow == nil && len(s.workers) > 1
+	rerouting := make([]bool, len(idxs))
+	for k, i := range idxs {
+		var e error
+		switch {
+		case be != nil:
+			e = be.At(k)
+		case err != nil:
+			e = err
+		}
+		st.Requests++
+		rerouting[k] = e != nil && retryable && reqs[i].Kind == jobs.Insert && errors.Is(e, sched.ErrInfeasible)
+		switch {
+		case rerouting[k]:
+			st.Rerouted++
+		case e != nil:
+			st.Failures++
+		case overflow[i] && reqs[i].Kind == jobs.Insert:
+			st.Overflow++
+		}
+		st.Cost.Add(cs[k])
+		costs[i] = cs[k]
+		errs[i] = e
+	}
+	// Commit the routing-table bookkeeping for the whole sub-batch under
+	// one lock acquisition. Jobs the inner stack's batch rebuild shed on
+	// a non-underallocated stream leave the routing table too, and are
+	// reported in the batch error via shedOut.
+	shed := sched.TakeBatchEvictions(inner)
+	s.mu.Lock()
+	for _, name := range shed {
+		if idx, ok := s.byJob[name]; ok && idx == si {
+			delete(s.byJob, name)
+			s.loads[si]--
+			s.active--
+		}
+	}
+	*shedOut = append(*shedOut, shed...)
+	for k, i := range idxs {
+		switch reqs[i].Kind {
+		case jobs.Insert:
+			if rerouting[k] {
+				// Keep the reservation: the reconcile pass retries the
+				// insert on a fallback shard or settles the failure.
+				continue
+			}
+			s.inflight[si]--
+			if errs[i] != nil {
+				// Drop the reservation — but only a reservation: a
+				// ride-behind re-insert has no reservedShard entry of its
+				// own (its chain's preceding delete may have failed,
+				// leaving the committed entry in place).
+				if v, ok := s.byJob[reqs[i].Name]; ok && v == reservedShard {
+					delete(s.byJob, reqs[i].Name)
+				}
+				continue
+			}
+			s.byJob[reqs[i].Name] = si
+			s.loads[si]++
+			s.active++
+		case jobs.Delete:
+			if errs[i] == nil {
+				delete(s.byJob, reqs[i].Name)
+				s.loads[si]--
+				s.active--
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// reconcile runs the single second pass over the batch: the requests
+// routeBatch deferred (cross-shard re-insert chains, which must run
+// after pass 1's deletes), infeasible inserts retrying on the
+// least-loaded other shard (overflow), and unknown-job deletes whose
+// name either belongs to a retried insert or resolved to a different
+// shard (a concurrent resize migrated the job). Whatever still fails is
+// terminal.
+func (s *Scheduler) reconcile(reqs []jobs.Request, shardOf []int, deferred []int, costs []metrics.Cost, errs []error, shed *[]string) {
+	groups := make([][]int, len(s.workers))
+	overflow := make(map[int]bool)
+	any := false
+
+	// Deferred chains route against the post-pass-1 routing table, with
+	// the same in-batch ordering rules as routeBatch.
+	live := make(map[string]int, len(deferred))
+	for _, i := range deferred {
+		r := reqs[i]
+		switch r.Kind {
+		case jobs.Insert:
+			primary := s.policy.Route(r.Name, len(s.workers))
+			s.mu.Lock()
+			if _, isLive := live[r.Name]; isLive {
+				s.mu.Unlock()
+				errs[i] = duplicateErr(r.Name)
+				continue
+			}
+			if _, dup := s.byJob[r.Name]; dup {
+				// The chain's pass-1 delete failed (or a concurrent insert
+				// won the name): same verdict back-to-back Apply gives.
+				s.mu.Unlock()
+				errs[i] = duplicateErr(r.Name)
+				continue
+			}
+			s.byJob[r.Name] = reservedShard
+			s.inflight[primary]++
+			s.mu.Unlock()
+			shardOf[i] = primary
+			groups[primary] = append(groups[primary], i)
+			live[r.Name] = primary
+			any = true
+		case jobs.Delete:
+			if si, isLive := live[r.Name]; isLive {
+				shardOf[i] = si
+				groups[si] = append(groups[si], i)
+				delete(live, r.Name)
+				any = true
+				continue
+			}
+			errs[i] = fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
+		}
+	}
+
+	retriedTo := make(map[string]int)
+	for i, r := range reqs {
+		if errs[i] == nil || shardOf[i] < 0 {
+			continue
+		}
+		switch {
+		case r.Kind == jobs.Insert && len(s.workers) > 1 && errors.Is(errs[i], sched.ErrInfeasible):
+			fb := s.leastLoaded(shardOf[i])
+			if fb == shardOf[i] {
+				s.commitInsert(r.Name, shardOf[i], errs[i])
+				continue
+			}
+			s.mu.Lock()
+			s.inflight[shardOf[i]]--
+			s.inflight[fb]++
+			s.mu.Unlock()
+			groups[fb] = append(groups[fb], i)
+			overflow[i] = true
+			retriedTo[r.Name] = fb
+			any = true
+		case r.Kind == jobs.Delete && errors.Is(errs[i], sched.ErrUnknownJob):
+			if fb, ok := retriedTo[r.Name]; ok {
+				// The delete trailed an insert that is being retried on
+				// fb; chase it there, behind the insert.
+				groups[fb] = append(groups[fb], i)
+				any = true
+				continue
+			}
+			cur, err := s.resolveDeleteShard(r.Name)
+			if err != nil || cur == shardOf[i] {
+				continue // terminal: the pass-1 error stands
+			}
+			groups[cur] = append(groups[cur], i)
+			any = true
+		}
+	}
+	if any {
+		s.fanOut(groups, reqs, costs, errs, overflow, shed)
+	}
+}

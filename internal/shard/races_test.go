@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -76,6 +77,105 @@ func TestDrainTruncatesRetainedErrors(t *testing.T) {
 	}
 	if err := s.Drain(); err != nil {
 		t.Errorf("second Drain not clean: %v", err)
+	}
+}
+
+// TestClosedSchedulerErrClosedConsistently pins the post-Close error
+// contract: EVERY entry point — sync Apply (insert, delete of a known
+// name, delete of an unknown name), the Insert/Delete methods, async
+// Submit and SubmitResize, and the bulk ApplyBatch — reports the
+// ErrClosed sentinel, never a routing-derived error like ErrUnknownJob
+// and never a raw channel panic.
+func TestClosedSchedulerErrClosedConsistently(t *testing.T) {
+	s := New(Config{Shards: 2, Machines: 2, Factory: stackFactory})
+	if _, err := s.Insert(jobs.Job{Name: "pre", Window: jobs.Window{Start: 0, End: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	probes := map[string]func() error{
+		"Apply insert": func() error {
+			_, err := s.Apply(jobs.InsertReq("post", 0, 64))
+			return err
+		},
+		"Apply delete known": func() error {
+			_, err := s.Apply(jobs.DeleteReq("pre"))
+			return err
+		},
+		"Apply delete unknown": func() error {
+			_, err := s.Apply(jobs.DeleteReq("ghost"))
+			return err
+		},
+		"Insert method": func() error {
+			_, err := s.Insert(jobs.Job{Name: "post2", Window: jobs.Window{Start: 0, End: 64}})
+			return err
+		},
+		"Delete method": func() error {
+			_, err := s.Delete("pre")
+			return err
+		},
+		"Submit": func() error {
+			return s.Submit(jobs.InsertReq("post3", 0, 64))
+		},
+		"SubmitResize": func() error {
+			return s.SubmitResize(ResizeReq{Shard: 0, Delta: 1})
+		},
+		"ApplyBatch": func() error {
+			_, err := s.ApplyBatch([]jobs.Request{
+				jobs.InsertReq("post4", 0, 64), jobs.DeleteReq("pre"), jobs.DeleteReq("ghost"),
+			})
+			return err
+		},
+	}
+	for name, probe := range probes {
+		if err := probe(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s on closed scheduler returned %v, want ErrClosed", name, err)
+		}
+	}
+}
+
+// TestApplyBatchRacesClose drives concurrent ApplyBatch calls against
+// Close: no panics, and every per-request failure must be ErrClosed or
+// a legitimate scheduling rejection. Run with -race (CI does).
+func TestApplyBatchRacesClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := New(Config{Shards: 2, Machines: 2, Factory: stackFactory})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for b := 0; b < 5; b++ {
+					batch := make([]jobs.Request, 0, 8)
+					for i := 0; i < 8; i++ {
+						batch = append(batch, jobs.InsertReq(
+							fmt.Sprintf("r%d-g%d-b%d-%d", round, g, b, i), 0, 512))
+					}
+					_, err := s.ApplyBatch(batch)
+					if err == nil {
+						continue
+					}
+					var be *sched.BatchError
+					if !errors.As(err, &be) {
+						t.Errorf("non-batch error from ApplyBatch: %v", err)
+						return
+					}
+					for i, e := range be.Errs {
+						if e == nil {
+							continue
+						}
+						if !errors.Is(e, ErrClosed) && !errors.Is(e, sched.ErrInfeasible) &&
+							!errors.Is(e, sched.ErrDuplicateJob) && !errors.Is(e, sched.ErrUnknownJob) {
+							t.Errorf("request %d failed with unexpected error %v", i, e)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		s.Close()
+		wg.Wait()
+		s.Close() // idempotent with batches settled
 	}
 }
 

@@ -101,13 +101,19 @@ type Config struct {
 	Policy Policy
 	// Buffer is the per-shard request channel capacity (default 256).
 	Buffer int
+	// BatchSize is the preferred bulk-admission chunk size reported by
+	// Scheduler.BatchSize (0 means 1, i.e. no auto-chunking; negative
+	// panics). It does not change ApplyBatch itself, which serves
+	// whatever slice it is given.
+	BatchSize int
 }
 
 // Scheduler is the sharded front-end. It implements sched.Scheduler and
 // is safe for concurrent use by any number of goroutines.
 type Scheduler struct {
-	workers []*worker
-	policy  Policy
+	workers   []*worker
+	policy    Policy
+	batchSize int
 
 	mu       sync.RWMutex
 	byJob    map[string]int // name -> shard, or a negative marker
@@ -126,8 +132,12 @@ type Scheduler struct {
 
 	// sendMu serializes request sends against Close: senders hold the
 	// read side, Close holds the write side while closing channels.
+	// closed is atomic so fast-path pre-checks (dispatch, ApplyBatch,
+	// SubmitResize) read it without touching sendMu; it is only ever set
+	// under the sendMu write lock, so a sender holding the read lock
+	// that observes it false is guaranteed the channels are still open.
 	sendMu sync.RWMutex
-	closed bool
+	closed atomic.Bool
 
 	// pendMu/pendCond/pendN track outstanding Submit requests. A plain
 	// WaitGroup cannot be used: Submit may Add while another goroutine
@@ -199,12 +209,19 @@ func New(cfg Config) *Scheduler {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = defaultBuffer
 	}
+	if cfg.BatchSize < 0 {
+		panic(fmt.Sprintf("shard: BatchSize %d", cfg.BatchSize))
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
 	s := &Scheduler{
-		workers:  make([]*worker, cfg.Shards),
-		policy:   cfg.Policy,
-		byJob:    make(map[string]int),
-		loads:    make([]int, cfg.Shards),
-		inflight: make([]int, cfg.Shards),
+		workers:   make([]*worker, cfg.Shards),
+		policy:    cfg.Policy,
+		batchSize: cfg.BatchSize,
+		byJob:     make(map[string]int),
+		loads:     make([]int, cfg.Shards),
+		inflight:  make([]int, cfg.Shards),
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
 	base := 0
@@ -294,7 +311,7 @@ func (w *worker) exec(t task) {
 func (s *Scheduler) send(i int, t task) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	s.workers[i].reqs <- t
@@ -304,6 +321,14 @@ func (s *Scheduler) send(i int, t task) error {
 // Shards returns the shard count (fixed for the scheduler's lifetime;
 // only the machine pool is elastic).
 func (s *Scheduler) Shards() int { return len(s.workers) }
+
+// BatchSize returns the preferred bulk-admission chunk size configured
+// at construction (1 when unset); realloc.Run auto-chunks request
+// sequences through ApplyBatch when it exceeds 1.
+func (s *Scheduler) BatchSize() int { return s.batchSize }
+
+// isClosed samples the closed flag without touching the send lock.
+func (s *Scheduler) isClosed() bool { return s.closed.Load() }
 
 // Machines returns the total machine pool size.
 func (s *Scheduler) Machines() int {
@@ -433,6 +458,14 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 	if err := r.Validate(); err != nil {
 		return err
 	}
+	if s.isClosed() {
+		// Fail fast with the sentinel so every post-Close request — sync
+		// or async, insert or delete, known name or not — reports
+		// ErrClosed instead of whatever routing would conclude first.
+		// (Closing between this check and the enqueue is still safe: the
+		// send itself re-checks under the lock.)
+		return ErrClosed
+	}
 	switch r.Kind {
 	case jobs.Insert:
 		return s.dispatchInsert(r, finish)
@@ -448,7 +481,7 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 	s.mu.Lock()
 	if _, dup := s.byJob[r.Name]; dup {
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", sched.ErrDuplicateJob, r.Name)
+		return duplicateErr(r.Name)
 	}
 	s.byJob[r.Name] = reservedShard
 	s.inflight[primary]++
@@ -503,6 +536,12 @@ func (s *Scheduler) commitInsert(name string, shardIdx int, err error) {
 	s.byJob[name] = shardIdx
 	s.loads[shardIdx]++
 	s.active++
+}
+
+// duplicateErr is the duplicate-insert rejection shared by the
+// per-request and batch routing passes.
+func duplicateErr(name string) error {
+	return fmt.Errorf("%w: %q", sched.ErrDuplicateJob, name)
 }
 
 func (s *Scheduler) unreserve(name string, shardIdx int) {
@@ -967,10 +1006,7 @@ type ResizeReq struct {
 // SubmitResize enqueues a resize and returns immediately; Drain waits
 // for it like any Submit, and failures surface in Drain's summary.
 func (s *Scheduler) SubmitResize(r ResizeReq) error {
-	s.sendMu.RLock()
-	closed := s.closed
-	s.sendMu.RUnlock()
-	if closed {
+	if s.isClosed() {
 		return ErrClosed
 	}
 	s.pendAdd()
@@ -1050,11 +1086,11 @@ func (s *Scheduler) SelfCheck() error {
 func (s *Scheduler) Close() {
 	s.pendWait()
 	s.sendMu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.sendMu.Unlock()
 		return
 	}
-	s.closed = true
+	s.closed.Store(true)
 	for _, w := range s.workers {
 		close(w.reqs)
 	}

@@ -22,6 +22,7 @@ package trim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/align"
 	"repro/internal/jobs"
@@ -283,18 +284,27 @@ func (s *Incremental) moveSome(k int) (metrics.Cost, error) {
 				s.queue = append(s.queue, name)
 			}
 		}
+		// Map iteration order is random; sort so the next transition
+		// drains jobs in a deterministic order (replaying one request
+		// stream twice must yield the same schedule).
+		sort.Strings(s.queue)
 	}
 	return total, nil
 }
 
 // recoverInner replaces a (possibly poisoned) inner scheduler with a
-// fresh one rebuilt from the jobs it held.
+// fresh one rebuilt from the jobs it held (in sorted order, so recovery
+// is deterministic).
 func (s *Incremental) recoverInner(target sched.Scheduler, parity int64) error {
 	fresh := s.factory()
+	var held []string
 	for name, inner := range s.loc {
-		if inner != target {
-			continue
+		if inner == target {
+			held = append(held, name)
 		}
+	}
+	sort.Strings(held)
+	for _, name := range held {
 		vj, err := s.prepared(name, s.originals[name], parity)
 		if err != nil {
 			return err

@@ -38,6 +38,19 @@ type Scheduler struct {
 
 	// rebuilds counts schedule rebuilds, exposed for experiments.
 	rebuilds int
+
+	// evicted accumulates pre-batch jobs a batch rebuild had to shed
+	// (non-underallocated streams only); see sched.BatchEvictor.
+	evicted []string
+}
+
+// TakeBatchEvictions implements sched.BatchEvictor: it returns and
+// clears the jobs the most recent ApplyBatch shed during its rebuild
+// recheck.
+func (s *Scheduler) TakeBatchEvictions() []string {
+	ev := s.evicted
+	s.evicted = nil
+	return ev
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)

@@ -309,6 +309,91 @@ func Sliding(cfg SlidingConfig) ([]jobs.Request, error) {
 	return reqs, nil
 }
 
+// BurstConfig parameterizes the synchronized-wave scenario: the
+// population arrives in large waves and departs in large waves, with
+// only a small residue surviving between waves. Waves are the worst
+// case for per-request admission — every request pays full dispatch
+// and trim/repair overhead for work that is identical across the wave
+// — and the natural case for batched admission.
+type BurstConfig struct {
+	Seed int64
+	// Machines is the pool size (default 8).
+	Machines int
+	// Gamma is the slack enforced by construction (default 8).
+	Gamma int64
+	// Horizon is the schedule horizon, a power of two (default 4096).
+	Horizon int64
+	// Waves is the number of arrival+departure wave pairs (default 6).
+	Waves int
+	// WaveSize is the number of jobs per arrival wave (default a
+	// quarter of the underallocation budget, Horizon*Machines/(4*Gamma)).
+	WaveSize int
+}
+
+// Fill applies the documented defaults and validates the config. It is
+// exported (unlike the other scenarios' fillers) so drivers can read
+// the derived WaveSize before choosing a wave count.
+func (c *BurstConfig) Fill() error {
+	if c.Machines == 0 {
+		c.Machines = 8
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 4096
+	}
+	if c.Waves == 0 {
+		c.Waves = 6
+	}
+	if c.WaveSize == 0 {
+		c.WaveSize = int(c.Horizon * int64(c.Machines) / (4 * c.Gamma))
+		if c.WaveSize < 1 {
+			c.WaveSize = 1
+		}
+	}
+	if !mathx.IsPow2(c.Horizon) {
+		return fmt.Errorf("workload: burst horizon %d must be a power of two", c.Horizon)
+	}
+	return nil
+}
+
+// Burst generates the synchronized-wave scenario: Waves rounds of
+// WaveSize back-to-back arrivals followed by a departure wave that
+// drains the population down to a WaveSize/8 residue. Every request is
+// drawn through the γ-underallocation budget, so any scheduler stack
+// in this repository can serve the whole sequence without failures.
+func Burst(cfg BurstConfig) ([]jobs.Request, error) {
+	if err := cfg.Fill(); err != nil {
+		return nil, err
+	}
+	g, err := NewGenerator(Config{
+		Seed: cfg.Seed, Machines: cfg.Machines, Gamma: cfg.Gamma, Horizon: cfg.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	residue := cfg.WaveSize / 8
+	var reqs []jobs.Request
+	for w := 0; w < cfg.Waves; w++ {
+		for k := 0; k < cfg.WaveSize; k++ {
+			// Budget exhaustion just shortens the wave; the departure
+			// wave restores headroom for the next one.
+			if r, ok := g.tryInsert(); ok {
+				reqs = append(reqs, r)
+			}
+		}
+		for len(g.active) > residue {
+			reqs = append(reqs, g.emitDelete())
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("workload: burst budget admitted no jobs (gamma %d too large for horizon %d on %d machines)",
+			cfg.Gamma, cfg.Horizon, cfg.Machines)
+	}
+	return reqs, nil
+}
+
 // ElasticConfig parameterizes the autoscaling scenario: a steady
 // workload sized for a base pool, a traffic burst that arrives with a
 // scale-up to a peak pool, and a scale-down back to base once the burst

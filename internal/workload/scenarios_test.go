@@ -236,3 +236,65 @@ func TestElasticScenarioShape(t *testing.T) {
 		t.Error("peak <= base accepted")
 	}
 }
+
+func TestBurstScenario(t *testing.T) {
+	cfg := BurstConfig{Seed: 1, Machines: 4, Horizon: 1024, Waves: 3}
+	reqs, err := Burst(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayWellFormed(t, reqs)
+
+	// The sequence must actually be wave-shaped: long insert runs and
+	// long delete runs, not fine-grained churn.
+	maxInsertRun, maxDeleteRun, run := 0, 0, 0
+	var prev jobs.RequestKind
+	for i, r := range reqs {
+		if i > 0 && r.Kind == prev {
+			run++
+		} else {
+			run = 1
+		}
+		prev = r.Kind
+		if r.Kind == jobs.Insert && run > maxInsertRun {
+			maxInsertRun = run
+		}
+		if r.Kind == jobs.Delete && run > maxDeleteRun {
+			maxDeleteRun = run
+		}
+	}
+	if err := (&cfg).Fill(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInsertRun < cfg.WaveSize/2 {
+		t.Errorf("longest arrival run %d; want at least half a wave (%d)", maxInsertRun, cfg.WaveSize/2)
+	}
+	if maxDeleteRun < cfg.WaveSize/2 {
+		t.Errorf("longest departure run %d; want at least half a wave (%d)", maxDeleteRun, cfg.WaveSize/2)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := Burst(BurstConfig{Horizon: 100}); err == nil {
+		t.Error("non-pow2 horizon accepted")
+	}
+}
+
+func TestBurstDeterministic(t *testing.T) {
+	a, err := Burst(BurstConfig{Seed: 7, Machines: 2, Horizon: 512, Waves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Burst(BurstConfig{Seed: 7, Machines: 2, Horizon: 512, Waves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -124,6 +124,7 @@ type Options struct {
 	shards     int
 	policy     shard.Policy
 	buffer     int
+	batchSize  int
 }
 
 // Option customizes the scheduler stack built by New.
@@ -159,6 +160,13 @@ func WithShardPolicy(p ShardPolicy) Option { return func(o *Options) { o.policy 
 // NewSharded (default 256). New ignores it.
 func WithShardBuffer(n int) Option { return func(o *Options) { o.buffer = n } }
 
+// WithBatchSize sets the scheduler's preferred bulk-admission chunk
+// size (default 1, i.e. per-request). When it exceeds 1, Run feeds the
+// request sequence to the scheduler in chunks of that size through
+// ApplyBatch instead of one request at a time — see ApplyBatch for the
+// bulk semantics. Negative sizes panic.
+func WithBatchSize(n int) Option { return func(o *Options) { o.batchSize = n } }
+
 // WithDeamortization replaces the amortized n*-rebuild with the paper's
 // even/odd-slot incremental rebuild: worst-case O(1) inner operations
 // per request instead of occasional O(n) rebuild spikes, at the price of
@@ -173,7 +181,31 @@ func WithDeamortization() Option {
 // window trimming -> reservation-based pecking-order scheduling.
 func New(opts ...Option) Scheduler {
 	o := defaultOptions(opts)
-	return buildStack(o, o.machines)
+	s := buildStack(o, o.machines)
+	if o.batchSize > 1 {
+		return batchSized{Scheduler: s, size: o.batchSize}
+	}
+	return s
+}
+
+// batchSized decorates a scheduler with a preferred bulk chunk size for
+// Run's auto-chunking, forwarding the bulk path of the wrapped stack.
+type batchSized struct {
+	sched.Scheduler
+	size int
+}
+
+// BatchSize reports the preferred ApplyBatch chunk size.
+func (b batchSized) BatchSize() int { return b.size }
+
+// ApplyBatch forwards to the wrapped stack's bulk path.
+func (b batchSized) ApplyBatch(reqs []Request) ([]Cost, error) {
+	return sched.ApplyBatch(b.Scheduler, reqs)
+}
+
+// TakeBatchEvictions forwards sched.BatchEvictor from the wrapped stack.
+func (b batchSized) TakeBatchEvictions() []string {
+	return sched.TakeBatchEvictions(b.Scheduler)
 }
 
 // NewSharded builds the concurrent sharded front-end: the machine pool
@@ -213,10 +245,11 @@ func NewSharded(opts ...Option) *Sharded {
 		o.machines = o.shards
 	}
 	return shard.New(shard.Config{
-		Shards:   o.shards,
-		Machines: o.machines,
-		Policy:   o.policy,
-		Buffer:   o.buffer,
+		Shards:    o.shards,
+		Machines:  o.machines,
+		Policy:    o.policy,
+		Buffer:    o.buffer,
+		BatchSize: o.batchSize,
 		// Always build the multi-machine wrapper (even for one machine)
 		// so every shard implements sched.Elastic and can be resized.
 		Factory: func(machines int) sched.Scheduler { return buildElasticStack(o, machines) },
@@ -227,6 +260,9 @@ func defaultOptions(opts []Option) Options {
 	o := Options{machines: 1, gamma: 8, align: true, trim: true}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.batchSize < 0 {
+		panic(fmt.Sprintf("realloc: WithBatchSize(%d)", o.batchSize))
 	}
 	return o
 }
@@ -288,9 +324,42 @@ func NewEDF(m int) Scheduler { return edf.New(m, edf.TieByArrival) }
 // Apply routes one request to a scheduler.
 func Apply(s Scheduler, r Request) (Cost, error) { return sched.Apply(s, r) }
 
+// ApplyBatch serves a request slice through the scheduler's bulk path
+// when it has one (every stack built by New and NewSharded does), and
+// otherwise applies the requests one at a time. Requests execute in
+// order; a failed request does not abort the batch. The returned cost
+// slice is parallel to the requests; the error, when non-nil, is a
+// *BatchError mapping failures back to request indices. On sequences
+// where no request fails, the final schedule is identical to applying
+// the requests one at a time — the bulk path only amortizes dispatch,
+// validation, and trim-rebuild work. On streams that are NOT
+// sufficiently underallocated, a batch's trim rebuild can additionally
+// shed active jobs admitted by earlier requests; those are reported in
+// BatchError.Evicted, never silently.
+func ApplyBatch(s Scheduler, reqs []Request) ([]Cost, error) {
+	costs, err := sched.ApplyBatch(s, reqs)
+	if ev := sched.TakeBatchEvictions(s); len(ev) > 0 {
+		err = sched.WithEvictions(err, ev)
+	}
+	return costs, err
+}
+
+// BatchError aggregates the per-request failures of one ApplyBatch
+// call; see sched.BatchError.
+type BatchError = sched.BatchError
+
 // Run feeds a request sequence to a scheduler, stopping at the first
-// error and returning how many requests were served.
-func Run(s Scheduler, reqs []Request) (int, error) { return sched.Run(s, reqs, nil) }
+// error and returning how many requests were served. Schedulers built
+// with WithBatchSize(n > 1) are fed in chunks of n through ApplyBatch
+// (failure detection then happens at chunk granularity: requests after
+// the first failure within the failing chunk may already have been
+// applied).
+func Run(s Scheduler, reqs []Request) (int, error) {
+	if bs, ok := s.(interface{ BatchSize() int }); ok && bs.BatchSize() > 1 {
+		return sched.RunBatched(s, reqs, bs.BatchSize(), nil)
+	}
+	return sched.Run(s, reqs, nil)
+}
 
 // Verify checks that the scheduler's current assignment is a feasible
 // schedule for its active job set: every job inside its window, machine
