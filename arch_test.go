@@ -4,7 +4,7 @@
 //
 // The sanctioned layering, bottom-up:
 //
-//	mathx, metrics        — stdlib only
+//	mathx, metrics, ident — stdlib only
 //	jobs                  — the shared model; stdlib + mathx
 //	align                 — pure window geometry; jobs + mathx
 //	sched                 — the interface layer; jobs + metrics
@@ -35,11 +35,13 @@ import (
 var archAllow = map[string][]string{
 	"internal/mathx":   {},
 	"internal/metrics": {},
+	"internal/ident":   {},
 	"internal/jobs":    {"repro/internal/mathx"},
 	"internal/align":   {"repro/internal/jobs", "repro/internal/mathx"},
 	"internal/sched":   {"repro/internal/jobs", "repro/internal/metrics"},
 	"internal/core": {
 		"repro/internal/align",
+		"repro/internal/ident",
 		"repro/internal/jobs",
 		"repro/internal/mathx",
 		"repro/internal/metrics",

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +42,9 @@ type Report struct {
 	Requests int    `json:"requests"`
 	Drivers  int    `json:"drivers"`
 	Runs     []Run  `json:"runs"`
+	// Compare holds per-run ratios against a prior report (-compare FILE):
+	// how this binary's runs stack up against, say, the previous PR's.
+	Compare []CompareRow `json:"compare,omitempty"`
 }
 
 // Run is one benchmarked configuration.
@@ -52,12 +57,49 @@ type Run struct {
 	Failures      int          `json:"failures"`
 	WallMillis    float64      `json:"wall_ms"`
 	ThroughputRPS float64      `json:"throughput_rps"`
+	NsPerOp       float64      `json:"ns_per_op"`
+	AllocsPerOp   float64      `json:"allocs_per_op"`
+	BytesPerOp    float64      `json:"bytes_per_op"`
 	P50LatencyUS  float64      `json:"p50_latency_us"`
 	P99LatencyUS  float64      `json:"p99_latency_us"`
 	Reallocations int          `json:"reallocations"`
 	Migrations    int          `json:"migrations"`
 	Overflow      int          `json:"overflow,omitempty"`
 	ShardDetail   []ShardStats `json:"shard_detail,omitempty"`
+}
+
+// CompareRow relates one run to the same-named run of a prior report.
+type CompareRow struct {
+	Name             string  `json:"name"`
+	BaseThroughput   float64 `json:"base_throughput_rps"`
+	ThroughputRatio  float64 `json:"throughput_ratio"` // this / base; > 1 is faster
+	BaseAllocsPerOp  float64 `json:"base_allocs_per_op,omitempty"`
+	AllocsPerOpRatio float64 `json:"allocs_per_op_ratio,omitempty"` // this / base; < 1 is leaner
+}
+
+// allocSampler brackets a serve loop with runtime.MemStats readings so a
+// run can report whole-process allocs/op and bytes/op alongside wall
+// time. It measures everything the run allocates — drivers, front-end,
+// the scheduler stack — which is exactly the GC pressure a server built
+// on this stack would see.
+type allocSampler struct{ before runtime.MemStats }
+
+func startAllocSample() *allocSampler {
+	s := &allocSampler{}
+	runtime.GC()
+	runtime.ReadMemStats(&s.before)
+	return s
+}
+
+// finish folds allocs/op, bytes/op, and ns/op for `ops` operations into r.
+func (s *allocSampler) finish(r *Run, wall time.Duration, ops int) {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if ops > 0 {
+		r.AllocsPerOp = float64(after.Mallocs-s.before.Mallocs) / float64(ops)
+		r.BytesPerOp = float64(after.TotalAlloc-s.before.TotalAlloc) / float64(ops)
+		r.NsPerOp = float64(wall.Nanoseconds()) / float64(ops)
+	}
 }
 
 // ShardStats is the per-shard slice of a sharded run.
@@ -84,7 +126,10 @@ func main() {
 		batch    = flag.Int("batch", 0, "add batched (ApplyBatch) runs with this chunk size; 0 disables (burst defaults to 512)")
 		seed     = flag.Int64("seed", 1, "scenario seed")
 		out      = flag.String("out", "BENCH_PR1.json", "output JSON path")
+		compare  = flag.String("compare", "", "prior report JSON to compare against (adds a compare section)")
 		quick    = flag.Bool("quick", false, "small parameters for smoke runs")
+		memprof  = flag.String("memprofile", "", "write an allocation profile of the runs to this file")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
 	)
 	flag.Parse()
 
@@ -101,7 +146,7 @@ func main() {
 			*batch = 512
 		}
 		if *out == "BENCH_PR1.json" {
-			*out = "BENCH_PR3.json"
+			*out = "BENCH_PR4.json"
 		}
 	}
 	if *scenario == "elastic" {
@@ -126,6 +171,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	shardCounts, err := parseShards(*shardSet)
 	if err != nil {
 		fail(err)
@@ -133,31 +188,53 @@ func main() {
 
 	rep := Report{Scenario: *scenario, Machines: *machines, Requests: len(reqs), Drivers: *drivers}
 
+	printRun := func(r Run) {
+		fmt.Printf("%-20s  %10.0f req/s  %8.0f ns/op  %6.1f allocs/op  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
+			r.Name, r.ThroughputRPS, r.NsPerOp, r.AllocsPerOp, r.P50LatencyUS, r.P99LatencyUS,
+			r.Reallocations, r.Migrations, r.Failures, r.Overflow)
+	}
 	seqRun := runSequential(reqs, *machines)
 	rep.Runs = append(rep.Runs, seqRun)
-	fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
-		seqRun.Name, seqRun.ThroughputRPS, seqRun.P50LatencyUS, seqRun.P99LatencyUS,
-		seqRun.Reallocations, seqRun.Migrations, seqRun.Failures)
+	printRun(seqRun)
 	if *batch > 1 {
 		r := runSequentialBatched(reqs, *machines, *batch)
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d\n",
-			r.Name, r.ThroughputRPS, r.P50LatencyUS, r.P99LatencyUS,
-			r.Reallocations, r.Migrations, r.Failures)
+		printRun(r)
 	}
 
 	for _, s := range shardCounts {
 		r := runSharded(reqs, *machines, s, *drivers)
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
-			r.Name, r.ThroughputRPS, r.P50LatencyUS, r.P99LatencyUS,
-			r.Reallocations, r.Migrations, r.Failures, r.Overflow)
+		printRun(r)
 		if *batch > 1 {
 			b := runShardedBatched(reqs, *machines, s, *drivers, *batch)
 			rep.Runs = append(rep.Runs, b)
-			fmt.Printf("%-20s  %10.0f req/s  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
-				b.Name, b.ThroughputRPS, b.P50LatencyUS, b.P99LatencyUS,
-				b.Reallocations, b.Migrations, b.Failures, b.Overflow)
+			printRun(b)
+		}
+	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote allocation profile to %s\n", *memprof)
+	}
+
+	if *compare != "" {
+		rows, err := compareReports(*compare, rep.Runs)
+		if err != nil {
+			fail(err)
+		}
+		rep.Compare = rows
+		for _, row := range rows {
+			fmt.Printf("vs %s: %-20s  throughput x%.2f  allocs/op x%.2f\n",
+				*compare, row.Name, row.ThroughputRatio, row.AllocsPerOpRatio)
 		}
 	}
 
@@ -170,6 +247,41 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// compareReports loads a prior report and relates this run's numbers to
+// its same-named runs. Runs without a counterpart are skipped.
+func compareReports(path string, runs []Run) ([]CompareRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("compare: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("compare %s: %w", path, err)
+	}
+	byName := make(map[string]Run, len(base.Runs))
+	for _, r := range base.Runs {
+		byName[r.Name] = r
+	}
+	var rows []CompareRow
+	for _, r := range runs {
+		b, ok := byName[r.Name]
+		if !ok || b.ThroughputRPS == 0 {
+			continue
+		}
+		row := CompareRow{
+			Name:            r.Name,
+			BaseThroughput:  b.ThroughputRPS,
+			ThroughputRatio: r.ThroughputRPS / b.ThroughputRPS,
+		}
+		if b.AllocsPerOp > 0 {
+			row.BaseAllocsPerOp = b.AllocsPerOp
+			row.AllocsPerOpRatio = r.AllocsPerOp / b.AllocsPerOp
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Request, error) {
@@ -234,6 +346,7 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 	lat := make([]time.Duration, 0, len(reqs))
 	failed := make(map[string]bool)
 	var reallocs, migrations, failures, served int
+	mem := startAllocSample()
 	start := time.Now()
 	for _, r := range reqs {
 		if r.Kind == jobs.Delete && failed[r.Name] {
@@ -254,11 +367,13 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 		migrations += c.Migrations
 	}
 	wall := time.Since(start)
-	return finishRun(Run{
+	run := Run{
 		Name: "sequential", Shards: 0, Drivers: 1,
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
-	}, wall, lat)
+	}
+	mem.finish(&run, wall, len(lat))
+	return finishRun(run, wall, lat)
 }
 
 // runSequentialBatched replays the scenario single-threaded through the
@@ -270,6 +385,7 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 	lat := make([]time.Duration, 0, len(reqs))
 	failed := make(map[string]bool)
 	var reallocs, migrations, failures, served int
+	mem := startAllocSample()
 	start := time.Now()
 	for off := 0; off < len(reqs); off += batch {
 		end := off + batch
@@ -302,11 +418,13 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 		}
 	}
 	wall := time.Since(start)
-	return finishRun(Run{
+	run := Run{
 		Name: fmt.Sprintf("sequential-batch%d", batch), Shards: 0, Batch: batch, Drivers: 1,
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
-	}, wall, lat)
+	}
+	mem.finish(&run, wall, len(lat))
+	return finishRun(run, wall, lat)
 }
 
 // filterFailed drops deletes of jobs whose insert already failed.
@@ -338,6 +456,7 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 
 	laneLat := make([][]time.Duration, drivers)
 	var wg sync.WaitGroup
+	mem := startAllocSample()
 	start := time.Now()
 	for lane, rs := range lanes {
 		wg.Add(1)
@@ -391,6 +510,7 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
 	}
+	mem.finish(&run, wall, len(lat))
 	for _, sc := range rep.Shards {
 		run.ShardDetail = append(run.ShardDetail, ShardStats{
 			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,
@@ -419,6 +539,7 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int) Run {
 
 	laneLat := make([][]time.Duration, drivers)
 	var wg sync.WaitGroup
+	mem := startAllocSample()
 	start := time.Now()
 	for lane, rs := range lanes {
 		wg.Add(1)
@@ -459,6 +580,7 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int) Run {
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
 	}
+	mem.finish(&run, wall, len(lat))
 	for _, sc := range rep.Shards {
 		run.ShardDetail = append(run.ShardDetail, ShardStats{
 			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,

@@ -87,13 +87,24 @@ func NumSpansAtLevel(l int) int {
 // SpansAtLevel returns the distinct aligned spans of level l >= 1 in
 // increasing order: 2*Ll, 4*Ll, ..., L_{l+1}.
 func SpansAtLevel(l int) []int64 {
-	n := NumSpansAtLevel(l)
-	spans := make([]int64, 0, n)
-	for s := 2 * levelBounds[l]; s <= levelBounds[l+1] && s > 0; s *= 2 {
-		spans = append(spans, s)
-	}
-	return spans
+	return spanTable[l]
 }
+
+// spanTable precomputes SpansAtLevel for every level: the spans are a
+// pure function of the constant tower bounds, and interval creation
+// calls this on the reservation hot path. Callers must not mutate the
+// returned slice.
+var spanTable = func() [NumLevels][]int64 {
+	var tbl [NumLevels][]int64
+	for l := 0; l < NumLevels; l++ {
+		spans := make([]int64, 0, NumSpansAtLevel(l))
+		for s := 2 * levelBounds[l]; s <= levelBounds[l+1] && s > 0; s *= 2 {
+			spans = append(spans, s)
+		}
+		tbl[l] = spans
+	}
+	return tbl
+}()
 
 // Aligned returns ALIGNED(W): a largest aligned window contained in W.
 // When several largest aligned windows exist the leftmost is returned,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/align"
+	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -19,12 +20,31 @@ import (
 // Scheduler aligns windows before delegating to an aligned-only inner
 // scheduler.
 type Scheduler struct {
-	inner     sched.Scheduler
-	originals map[string]jobs.Window
+	inner sched.Scheduler
+
+	// names is the per-scheduler ID space; wins holds each active job's
+	// original (unaligned) window, indexed by interned ID.
+	names *ident.Table
+	wins  []jobs.Window
 
 	// evicted accumulates jobs the inner scheduler's batch rebuilds
 	// shed; see sched.BatchEvictor.
 	evicted []string
+}
+
+// setWin records the original window of an interned job.
+func (s *Scheduler) setWin(id ident.ID, w jobs.Window) {
+	for int(id) >= len(s.wins) {
+		s.wins = append(s.wins, jobs.Window{})
+	}
+	s.wins[id] = w
+}
+
+// dropName releases a tracked name, if present.
+func (s *Scheduler) dropName(name string) {
+	if id, ok := s.names.Get(name); ok {
+		s.names.Release(id)
+	}
 }
 
 // TakeBatchEvictions implements sched.BatchEvictor.
@@ -38,21 +58,22 @@ var _ sched.Scheduler = (*Scheduler)(nil)
 
 // New wraps an aligned-only scheduler.
 func New(inner sched.Scheduler) *Scheduler {
-	return &Scheduler{inner: inner, originals: make(map[string]jobs.Window)}
+	return &Scheduler{inner: inner, names: ident.New()}
 }
 
 // Machines returns the inner scheduler's machine count.
 func (s *Scheduler) Machines() int { return s.inner.Machines() }
 
 // Active returns the number of active jobs.
-func (s *Scheduler) Active() int { return len(s.originals) }
+func (s *Scheduler) Active() int { return s.names.Len() }
 
 // Jobs returns the active jobs with their original (unaligned) windows.
 func (s *Scheduler) Jobs() []jobs.Job {
-	out := make([]jobs.Job, 0, len(s.originals))
-	for name, w := range s.originals {
-		out = append(out, jobs.Job{Name: name, Window: w})
-	}
+	out := make([]jobs.Job, 0, s.names.Len())
+	s.names.Range(func(id ident.ID, name string) bool {
+		out = append(out, jobs.Job{Name: name, Window: s.wins[id]})
+		return true
+	})
 	return out
 }
 
@@ -68,7 +89,7 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if j.Window.End <= 0 {
 		return metrics.Cost{}, fmt.Errorf("alignsched: window %v lies entirely before time 0", j.Window)
 	}
-	if _, dup := s.originals[j.Name]; dup {
+	if _, ok := s.names.Get(j.Name); ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
 	aligned := align.Aligned(j.Window)
@@ -76,20 +97,21 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if err != nil {
 		return cost, err
 	}
-	s.originals[j.Name] = j.Window
+	s.setWin(s.names.Intern(j.Name), j.Window)
 	return cost, nil
 }
 
 // Delete removes an active job.
 func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
-	if _, ok := s.originals[name]; !ok {
+	id, ok := s.names.Get(name)
+	if !ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
 	}
 	cost, err := s.inner.Delete(name)
 	if err != nil {
 		return cost, err
 	}
-	delete(s.originals, name)
+	s.names.Release(id)
 	return cost, nil
 }
 
@@ -116,12 +138,12 @@ func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
 	}
 	out := make([]jobs.Job, 0, len(evicted))
 	for _, j := range evicted {
-		orig, ok := s.originals[j.Name]
+		id, ok := s.names.Get(j.Name)
 		if !ok {
 			return cost, out, fmt.Errorf("alignsched: evicted job %q has no tracked original window", j.Name)
 		}
-		out = append(out, jobs.Job{Name: j.Name, Window: orig})
-		delete(s.originals, j.Name)
+		out = append(out, jobs.Job{Name: j.Name, Window: s.wins[id]})
+		s.names.Release(id)
 	}
 	return cost, out, nil
 }
@@ -131,22 +153,23 @@ func (s *Scheduler) SelfCheck() error {
 	if err := s.inner.SelfCheck(); err != nil {
 		return err
 	}
-	if s.inner.Active() != len(s.originals) {
-		return fmt.Errorf("alignsched: inner has %d jobs, wrapper tracks %d", s.inner.Active(), len(s.originals))
+	if n := s.names.Len(); s.inner.Active() != n {
+		return fmt.Errorf("alignsched: inner has %d jobs, wrapper tracks %d", s.inner.Active(), n)
 	}
 	asn := s.inner.Assignment()
-	for name, orig := range s.originals {
+	var fail error
+	s.names.Range(func(id ident.ID, name string) bool {
+		orig := s.wins[id]
 		p, ok := asn[name]
-		if !ok {
-			return fmt.Errorf("alignsched: job %q missing from inner assignment", name)
+		switch {
+		case !ok:
+			fail = fmt.Errorf("alignsched: job %q missing from inner assignment", name)
+		case !orig.Contains(p.Slot):
+			fail = fmt.Errorf("alignsched: job %q at slot %d outside original window %v", name, p.Slot, orig)
+		case !align.Aligned(orig).Contains(p.Slot):
+			fail = fmt.Errorf("alignsched: job %q at slot %d outside aligned window %v", name, p.Slot, align.Aligned(orig))
 		}
-		if !orig.Contains(p.Slot) {
-			return fmt.Errorf("alignsched: job %q at slot %d outside original window %v", name, p.Slot, orig)
-		}
-		a := align.Aligned(orig)
-		if !a.Contains(p.Slot) {
-			return fmt.Errorf("alignsched: job %q at slot %d outside aligned window %v", name, p.Slot, a)
-		}
-	}
-	return nil
+		return fail == nil
+	})
+	return fail
 }

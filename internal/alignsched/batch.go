@@ -37,7 +37,7 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 		if v, ok := present[name]; ok {
 			return v
 		}
-		_, ok := s.originals[name]
+		_, ok := s.names.Get(name)
 		return ok
 	}
 	pending := make(map[string]bool)
@@ -83,7 +83,7 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 
 	cs, err := sched.ApplyBatch(s.inner, innerReqs)
 	for _, name := range sched.TakeBatchEvictions(s.inner) {
-		delete(s.originals, name)
+		s.dropName(name)
 		s.evicted = append(s.evicted, name)
 	}
 	var be *sched.BatchError
@@ -104,9 +104,9 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 			continue
 		}
 		if reqs[i].Kind == jobs.Insert {
-			s.originals[reqs[i].Name] = origWin[i]
+			s.setWin(s.names.Intern(reqs[i].Name), origWin[i])
 		} else {
-			delete(s.originals, reqs[i].Name)
+			s.dropName(reqs[i].Name)
 		}
 	}
 	return costs, sched.NewBatchError(errs)

@@ -45,8 +45,8 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 		case jobs.Insert:
 			costs[i], errs[i] = s.insertPrevalidated(jobs.Job{Name: r.Name, Window: r.Window})
 		case jobs.Delete:
-			j, ok := s.jobs[r.Name]
-			if !ok {
+			j := s.activeJob(r.Name)
+			if j == nil {
 				// Unreachable when the preflight simulation holds; kept as
 				// a guard against drift between the two passes.
 				errs[i] = fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
@@ -71,8 +71,7 @@ func (s *Scheduler) preflight(reqs []jobs.Request) []error {
 		if v, ok := over[name]; ok {
 			return v
 		}
-		_, ok := s.jobs[name]
-		return ok
+		return s.activeJob(name) != nil
 	}
 	out := make([]error, len(reqs))
 	for i, r := range reqs {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/align"
+	"repro/internal/ident"
 )
 
 // SelfCheck revalidates every structural invariant of the scheduler:
@@ -26,39 +27,48 @@ func (s *Scheduler) Poisoned() error { return s.poisoned }
 
 func (s *Scheduler) selfCheck() error {
 	// Jobs <-> slots agreement; every job inside its window.
-	if len(s.jobs) != len(s.slots) {
-		return fmt.Errorf("core: %d jobs but %d occupied slots", len(s.jobs), len(s.slots))
+	if s.active != len(s.slots) {
+		return fmt.Errorf("core: %d jobs but %d occupied slots", s.active, len(s.slots))
 	}
-	for name, j := range s.jobs {
-		if j.name != name {
-			return fmt.Errorf("core: job %q indexed under %q", j.name, name)
+	if got := s.names.Len(); got != s.active {
+		return fmt.Errorf("core: %d interned names but %d active jobs", got, s.active)
+	}
+	for id, j := range s.byID {
+		if j == nil {
+			continue
+		}
+		if j.id != ident.ID(id) {
+			return fmt.Errorf("core: job %q (ID %d) indexed under ID %d", j.name, j.id, id)
+		}
+		if got := s.names.Name(j.id); got != j.name {
+			return fmt.Errorf("core: job ID %d interned as %q but carries name %q", j.id, got, j.name)
 		}
 		if !j.window().Contains(j.slot) {
-			return fmt.Errorf("core: job %q at slot %d outside window %v", name, j.slot, j.window())
+			return fmt.Errorf("core: job %q at slot %d outside window %v", j.name, j.slot, j.window())
 		}
 		if s.slots[j.slot] != j {
-			return fmt.Errorf("core: slot map for %d does not point at job %q", j.slot, name)
+			return fmt.Errorf("core: slot map for %d does not point at job %q", j.slot, j.name)
 		}
 		if got := align.LevelOfSpan(j.key.span); got != j.level {
-			return fmt.Errorf("core: job %q cached level %d, want %d", name, j.level, got)
+			return fmt.Errorf("core: job %q cached level %d, want %d", j.name, j.level, got)
 		}
 		// Level >= 1 jobs must sit in a fulfilled slot of their window.
 		if j.level >= 1 {
 			ws := s.windows[j.key]
 			if ws == nil {
-				return fmt.Errorf("core: job %q has no window state", name)
+				return fmt.Errorf("core: job %q has no window state", j.name)
 			}
-			if ws.fulfilled[j.slot] != name {
+			if ws.fulfilled[j.slot] != j.id {
 				return fmt.Errorf("core: job %q at slot %d not recorded in window %v fulfilled set",
-					name, j.slot, j.window())
+					j.name, j.slot, j.window())
 			}
 		}
 	}
 
 	// Window states.
 	xCount := make(map[winKey]int)
-	for _, j := range s.jobs {
-		if j.level >= 1 {
+	for _, j := range s.byID {
+		if j != nil && j.level >= 1 {
 			xCount[j.key]++
 		}
 	}
@@ -87,17 +97,17 @@ func (s *Scheduler) selfCheck() error {
 			}
 			occupant := s.slots[t]
 			switch {
-			case occ == "":
+			case occ == ident.None:
 				if occupant != nil && occupant.level <= ws.level {
 					return fmt.Errorf("core: window %v slot %d marked job-free but holds level-%d job %q",
 						w, t, occupant.level, occupant.name)
 				}
 			default:
-				if occupant == nil || occupant.name != occ {
-					return fmt.Errorf("core: window %v slot %d records occupant %q but holds %v", w, t, occ, occupant)
+				if occupant == nil || occupant.id != occ {
+					return fmt.Errorf("core: window %v slot %d records occupant ID %d but holds %v", w, t, occ, occupant)
 				}
 				if occupant.key != key {
-					return fmt.Errorf("core: window %v slot %d holds foreign same-level job %q", w, t, occ)
+					return fmt.Errorf("core: window %v slot %d holds foreign same-level job %q", w, t, occupant.name)
 				}
 			}
 		}
@@ -142,6 +152,17 @@ func (s *Scheduler) selfCheck() error {
 					iv.start, t, wk.window())
 			}
 			fulfilled[wk]++
+		}
+		// The O(1) fulfilled-count cache must agree with the recount.
+		if len(iv.fullCount) != len(fulfilled) {
+			return fmt.Errorf("core: interval %d caches %d fulfilled windows, recount has %d",
+				iv.start, len(iv.fullCount), len(fulfilled))
+		}
+		for wk, n := range fulfilled {
+			if iv.fullCount[wk] != n {
+				return fmt.Errorf("core: interval %d caches %d fulfilled for %v, recount %d",
+					iv.start, iv.fullCount[wk], wk.window(), n)
+			}
 		}
 		// Reservation counts: base 1 per enclosing span, plus the
 		// round-robin share of 2x extras (Invariant 5).
@@ -303,7 +324,7 @@ type Stats struct {
 // Stats returns current internal statistics.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		ActiveJobs: len(s.jobs),
+		ActiveJobs: s.active,
 		Windows:    len(s.windows),
 		Intervals:  len(s.ivs),
 		SlotsInUse: len(s.slots),

@@ -40,9 +40,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/align"
+	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
@@ -71,9 +74,14 @@ type ivKey struct {
 	start Time
 }
 
-// jobState is one active job.
+// jobState is one active job. The hot-path machinery references jobs by
+// their interned dense ID (slice indexing, integer map keys); the name
+// is kept only for error texts and the public snapshots. jobStates are
+// recycled through the scheduler's free list, so a steady-state
+// insert/delete churn allocates nothing.
 type jobState struct {
 	name  string
+	id    ident.ID
 	key   winKey
 	level int
 	slot  Time
@@ -93,9 +101,10 @@ type windowState struct {
 	x            int   // active jobs with exactly this window
 	materialized bool  // all intervals created (true once a job arrives)
 	// fulfilled maps each slot backing a fulfilled reservation of this
-	// window to the name of the own-level job occupying it, or "" if the
-	// slot holds no level-l job (it may still hold a higher-level job).
-	fulfilled map[Time]string
+	// window to the ID of the own-level job occupying it, or ident.None
+	// if the slot holds no level-l job (it may still hold a higher-level
+	// job).
+	fulfilled map[Time]ident.ID
 }
 
 // interval is one level-l interval: Ll consecutive slots.
@@ -110,6 +119,11 @@ type interval struct {
 	// backed by that slot. Slots occupied by lower-level jobs are never
 	// assigned (they are outside the allowance).
 	assigned map[Time]winKey
+	// fullCount caches, per window, how many of its reservations this
+	// interval fulfills (len of assigned entries pointing at it), so the
+	// waitlist checks in promote/removeReservation are O(1) instead of a
+	// scan over assigned.
+	fullCount map[winKey]int
 }
 
 // Option configures the scheduler.
@@ -148,7 +162,14 @@ func WithPlacementPolicy(p PlacementPolicy) Option {
 
 // Scheduler is the reservation-based pecking-order scheduler.
 type Scheduler struct {
-	jobs    map[string]*jobState
+	// names is the per-scheduler ID space: a job's name is interned when
+	// the job is admitted and released when it leaves, so byID stays
+	// dense (freed IDs are reissued).
+	names  *ident.Table
+	byID   []*jobState // ID-indexed active jobs; nil = inactive
+	spare  []*jobState // recycled jobState structs
+	active int
+
 	slots   map[Time]*jobState
 	windows map[winKey]*windowState
 	ivs     map[ivKey]*interval
@@ -165,14 +186,44 @@ type Scheduler struct {
 
 var _ sched.Scheduler = (*Scheduler)(nil)
 
-// New returns an empty single-machine reservation scheduler.
+// Pools for the reservation machinery. The trimming wrappers rebuild by
+// building a FRESH core and discarding the old one, so on rebuild-heavy
+// workloads the windows, intervals, and their maps are the dominant
+// allocation source. Recycle (sched.Recycler) feeds a discarded
+// scheduler's structures back here; New drains the pools first, so a
+// rebuild reuses the previous generation's capacity.
+// Pooling invariant: everything is cleared on the way in — maps emptied
+// (capacity kept), jobState name strings zeroed, the ID table reset —
+// so pooled structures pin no job names and leak no state between
+// generations.
+var (
+	schedPool    sync.Pool // *Scheduler
+	windowPool   sync.Pool // *windowState (fulfilled cleared)
+	intervalPool sync.Pool // *interval (resCount/assigned cleared)
+)
+
+// errRecycled poisons a recycled scheduler so a stale reference fails
+// loudly instead of corrupting the structure's next life.
+var errRecycled = errors.New("core: scheduler was recycled (stale reference)")
+
+// New returns an empty single-machine reservation scheduler, reusing
+// pooled structures when a discarded scheduler donated them.
 func New(opts ...Option) *Scheduler {
-	s := &Scheduler{
-		jobs:         make(map[string]*jobState),
-		slots:        make(map[Time]*jobState),
-		windows:      make(map[winKey]*windowState),
-		ivs:          make(map[ivKey]*interval),
-		maxIntervals: 1 << 20,
+	var s *Scheduler
+	if v := schedPool.Get(); v != nil {
+		s = v.(*Scheduler)
+		s.poisoned = nil
+		s.maxIntervals = 1 << 20
+		s.policy = PreferEmpty
+	} else {
+		s = &Scheduler{
+			names:   ident.New(),
+			byID:    make([]*jobState, 1), // ID 0 is ident.None
+			slots:   make(map[Time]*jobState),
+			windows: make(map[winKey]*windowState),
+			ivs:     make(map[ivKey]*interval),
+		}
+		s.maxIntervals = 1 << 20
 	}
 	for _, o := range opts {
 		o(s)
@@ -180,26 +231,110 @@ func New(opts ...Option) *Scheduler {
 	return s
 }
 
+// Recycle implements sched.Recycler: every window, interval, and job
+// state goes back to the package pools, the ID space resets, and the
+// scheduler itself is pooled for the next New. The caller must hold no
+// references; a stale use fails with a poisoned error.
+func (s *Scheduler) Recycle() {
+	for key, iv := range s.ivs {
+		delete(s.ivs, key)
+		clear(iv.resCount)
+		clear(iv.assigned)
+		clear(iv.fullCount)
+		intervalPool.Put(iv)
+	}
+	for key, ws := range s.windows {
+		delete(s.windows, key)
+		clear(ws.fulfilled)
+		ws.x, ws.materialized = 0, false
+		windowPool.Put(ws)
+	}
+	for i, j := range s.byID {
+		if j != nil {
+			s.byID[i] = nil
+			*j = jobState{} // drop the name reference
+			s.spare = append(s.spare, j)
+		}
+	}
+	clear(s.slots)
+	s.names.Reset()
+	s.active = 0
+	s.cost = metrics.Cost{}
+	s.levelCost = [align.NumLevels]int{}
+	s.poisoned = errRecycled
+	schedPool.Put(s)
+}
+
+// jobAt returns the active job bound to id, or nil.
+func (s *Scheduler) jobAt(id ident.ID) *jobState {
+	if int(id) < len(s.byID) {
+		return s.byID[id]
+	}
+	return nil
+}
+
+// activeJob resolves a name to its active job state, or nil.
+func (s *Scheduler) activeJob(name string) *jobState {
+	id, ok := s.names.Get(name)
+	if !ok {
+		return nil
+	}
+	return s.jobAt(id)
+}
+
+// registerJob binds js.id to js, growing the ID-indexed slice on demand.
+func (s *Scheduler) registerJob(js *jobState) {
+	for int(js.id) >= len(s.byID) {
+		s.byID = append(s.byID, nil)
+	}
+	s.byID[js.id] = js
+	s.active++
+}
+
+// releaseJob unbinds a deleted job, frees its ID, and recycles the
+// struct.
+func (s *Scheduler) releaseJob(j *jobState) {
+	s.byID[j.id] = nil
+	s.active--
+	s.names.Release(j.id)
+	*j = jobState{} // drop the name reference before pooling
+	s.spare = append(s.spare, j)
+}
+
+// takeJobState returns a zeroed jobState, recycled when possible.
+func (s *Scheduler) takeJobState() *jobState {
+	if n := len(s.spare); n > 0 {
+		js := s.spare[n-1]
+		s.spare = s.spare[:n-1]
+		return js
+	}
+	return &jobState{}
+}
+
 // Machines returns 1: this is a single-machine scheduler.
 func (s *Scheduler) Machines() int { return 1 }
 
 // Active returns the number of active jobs.
-func (s *Scheduler) Active() int { return len(s.jobs) }
+func (s *Scheduler) Active() int { return s.active }
 
 // Jobs returns a snapshot of the active job set.
 func (s *Scheduler) Jobs() []jobs.Job {
-	out := make([]jobs.Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, jobs.Job{Name: j.name, Window: j.window()})
+	out := make([]jobs.Job, 0, s.active)
+	for _, j := range s.byID {
+		if j != nil {
+			out = append(out, jobs.Job{Name: j.name, Window: j.window()})
+		}
 	}
 	return out
 }
 
 // Assignment returns a snapshot of the schedule (machine always 0).
 func (s *Scheduler) Assignment() jobs.Assignment {
-	out := make(jobs.Assignment, len(s.jobs))
-	for _, j := range s.jobs {
-		out[j.name] = jobs.Placement{Machine: 0, Slot: j.slot}
+	out := make(jobs.Assignment, s.active)
+	for _, j := range s.byID {
+		if j != nil {
+			out[j.name] = jobs.Placement{Machine: 0, Slot: j.slot}
+		}
 	}
 	return out
 }
@@ -215,7 +350,7 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if !j.Window.IsAligned() {
 		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
 	}
-	if _, dup := s.jobs[j.Name]; dup {
+	if s.activeJob(j.Name) != nil {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
 	if level := align.LevelOfSpan(j.Window.Span()); level > 0 {
@@ -232,7 +367,8 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 // duplicate, under the interval cap). It is the execution half of
 // Insert, shared with the batch path.
 func (s *Scheduler) insertPrevalidated(j jobs.Job) (metrics.Cost, error) {
-	js := &jobState{name: j.Name, key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
+	js := s.takeJobState()
+	*js = jobState{name: j.Name, id: s.names.Intern(j.Name), key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
 	s.cost = metrics.Cost{}
 	s.levelCost = [align.NumLevels]int{}
 
@@ -246,11 +382,12 @@ func (s *Scheduler) insertPrevalidated(j jobs.Job) (metrics.Cost, error) {
 		// A mid-request failure can leave partially updated reservation
 		// state; poison the scheduler so the caller cannot keep using an
 		// inconsistent schedule. (Failures only occur on instances that
-		// are not sufficiently underallocated.)
+		// are not sufficiently underallocated. The interned ID is not
+		// released: a poisoned scheduler serves nothing anyway.)
 		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed insert of %q: %w", j.Name, err)
 		return s.cost, err
 	}
-	s.jobs[j.Name] = js
+	s.registerJob(js)
 	return s.cost, nil
 }
 
@@ -264,8 +401,8 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	if s.poisoned != nil {
 		return metrics.Cost{}, s.poisoned
 	}
-	j, ok := s.jobs[name]
-	if !ok {
+	j := s.activeJob(name)
+	if j == nil {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
 	}
 	return s.deletePrevalidated(j)
@@ -286,7 +423,7 @@ func (s *Scheduler) deletePrevalidated(j *jobState) (metrics.Cost, error) {
 		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", j.name, err)
 		return s.cost, err
 	}
-	delete(s.jobs, j.name)
+	s.releaseJob(j)
 	return s.cost, nil
 }
 
@@ -329,10 +466,10 @@ func (s *Scheduler) reservedDelete(j *jobState) error {
 	}
 	slot := j.slot
 	delete(s.slots, slot)
-	if ws.fulfilled[slot] != j.name {
+	if ws.fulfilled[slot] != j.id {
 		return fmt.Errorf("core: job %q at slot %d not backed by a fulfilled reservation", j.name, slot)
 	}
-	ws.fulfilled[slot] = "" // the reservation stays fulfilled, now job-free
+	ws.fulfilled[slot] = ident.None // the reservation stays fulfilled, now job-free
 	// The slot is no longer occupied by a level-l job: higher-level
 	// allowances grow (possibly promoting one waitlisted reservation each).
 	s.growAbove(slot, j.level)
@@ -375,7 +512,7 @@ func (s *Scheduler) place(j *jobState) error {
 		cur.slot = slot
 		s.cost.Reallocations++
 		s.levelCost[cur.level]++
-		ws.fulfilled[slot] = cur.name
+		ws.fulfilled[slot] = cur.id
 
 		hLevel := topLevel + 1
 		if displaced != nil {
@@ -412,7 +549,7 @@ func (s *Scheduler) pickFulfilledSlot(ws *windowState) (Time, bool) {
 	best, bestEmpty := Time(0), false
 	found := false
 	for t, occ := range ws.fulfilled {
-		if occ != "" {
+		if occ != ident.None {
 			continue
 		}
 		if s.policy == LowestSlot {
@@ -466,7 +603,7 @@ func (s *Scheduler) move(j *jobState) error {
 	j.slot = to
 	s.cost.Reallocations++
 	s.levelCost[j.level]++
-	ws.fulfilled[to] = j.name
+	ws.fulfilled[to] = j.id
 
 	// Swap the two slots' assignment state in every ancestor interval
 	// (levels above j's). Both slots lie inside j's window, which is
@@ -526,8 +663,8 @@ func (s *Scheduler) addReservation(iv *interval, ws *windowState) error {
 	victim := s.windows[longKey]
 	slot, occupant := s.pickAssignedSlot(iv, victim)
 	s.unassign(iv, slot)
-	if occupant != "" {
-		if err := s.move(s.jobs[occupant]); err != nil {
+	if occupant != ident.None {
+		if err := s.move(s.byID[occupant]); err != nil {
 			return err
 		}
 	}
@@ -548,8 +685,8 @@ func (s *Scheduler) removeReservation(iv *interval, ws *windowState) error {
 	}
 	slot, occupant := s.pickAssignedSlot(iv, ws)
 	s.unassign(iv, slot)
-	if occupant != "" {
-		if err := s.move(s.jobs[occupant]); err != nil {
+	if occupant != ident.None {
+		if err := s.move(s.byID[occupant]); err != nil {
 			return err
 		}
 	}
@@ -580,8 +717,8 @@ func (s *Scheduler) shrink(iv *interval, t Time) error {
 	victim := s.windows[longKey]
 	slot, occupant := s.pickAssignedSlot(iv, victim)
 	s.unassign(iv, slot)
-	if occupant != "" {
-		if err := s.move(s.jobs[occupant]); err != nil {
+	if occupant != ident.None {
+		if err := s.move(s.byID[occupant]); err != nil {
 			return err
 		}
 	}
@@ -626,18 +763,24 @@ func (s *Scheduler) assign(iv *interval, t Time, ws *windowState) {
 		panic(fmt.Sprintf("core: slot %d already assigned in interval %d", t, iv.start))
 	}
 	iv.assigned[t] = ws.key
-	ws.fulfilled[t] = "" // a fresh fulfilled slot never holds an own-level job
+	iv.fullCount[ws.key]++
+	ws.fulfilled[t] = ident.None // a fresh fulfilled slot never holds an own-level job
 }
 
-// unassign releases the reservation backing slot t, returning the name of
-// the own-level job that occupied it ("" if none). The caller is
+// unassign releases the reservation backing slot t, returning the ID of
+// the own-level job that occupied it (ident.None if none). The caller is
 // responsible for relocating that job.
-func (s *Scheduler) unassign(iv *interval, t Time) string {
+func (s *Scheduler) unassign(iv *interval, t Time) ident.ID {
 	key, ok := iv.assigned[t]
 	if !ok {
 		panic(fmt.Sprintf("core: slot %d not assigned in interval %d", t, iv.start))
 	}
 	delete(iv.assigned, t)
+	if n := iv.fullCount[key] - 1; n > 0 {
+		iv.fullCount[key] = n
+	} else {
+		delete(iv.fullCount, key)
+	}
 	ws := s.windows[key]
 	occ := ws.fulfilled[t]
 	delete(ws.fulfilled, t)
@@ -646,16 +789,16 @@ func (s *Scheduler) unassign(iv *interval, t Time) string {
 
 // pickAssignedSlot returns one of ws's fulfilled slots in iv, preferring
 // slots without an own-level job, then the lowest slot. It also returns
-// the occupying own-level job name ("" if none).
-func (s *Scheduler) pickAssignedSlot(iv *interval, ws *windowState) (Time, string) {
-	best, bestOcc := Time(0), ""
+// the occupying own-level job ID (ident.None if none).
+func (s *Scheduler) pickAssignedSlot(iv *interval, ws *windowState) (Time, ident.ID) {
+	best, bestOcc := Time(0), ident.None
 	found := false
 	for t := iv.start; t < iv.start+iv.span; t++ {
 		if key, ok := iv.assigned[t]; ok && key == ws.key {
 			occ := ws.fulfilled[t]
-			if !found || (occ == "" && bestOcc != "") {
+			if !found || (occ == ident.None && bestOcc != ident.None) {
 				best, bestOcc, found = t, occ, true
-				if occ == "" {
+				if occ == ident.None {
 					return best, bestOcc
 				}
 			}
@@ -683,11 +826,13 @@ func (s *Scheduler) freeSlot(iv *interval) (Time, bool) {
 }
 
 // longestFulfilled returns the window with the longest span holding at
-// least one fulfilled reservation in iv (ties broken by start).
+// least one fulfilled reservation in iv (ties broken by start). The
+// fullCount cache bounds the scan by the number of distinct windows
+// with fulfilled reservations, not by the interval span.
 func (s *Scheduler) longestFulfilled(iv *interval) (winKey, bool) {
 	var best winKey
 	found := false
-	for _, key := range iv.assigned {
+	for key := range iv.fullCount {
 		if !found || key.span > best.span || (key.span == best.span && key.start < best.start) {
 			best = key
 			found = true
@@ -698,13 +843,7 @@ func (s *Scheduler) longestFulfilled(iv *interval) (winKey, bool) {
 
 // fulfilledCount counts ws's fulfilled reservations in iv.
 func (s *Scheduler) fulfilledCount(iv *interval, key winKey) int {
-	n := 0
-	for _, k := range iv.assigned {
-		if k == key {
-			n++
-		}
-	}
-	return n
+	return iv.fullCount[key]
 }
 
 // ---------------------------------------------------------------------
@@ -722,11 +861,17 @@ func (s *Scheduler) ensureWindow(key winKey) (*windowState, error) {
 		return nil, fmt.Errorf("core: window %v is base-level; no window state needed", key.window())
 	}
 	n := key.span / align.IntervalSpan(level)
-	ws := &windowState{
-		key:          key,
-		level:        level,
-		numIntervals: n,
-		fulfilled:    make(map[Time]string),
+	var ws *windowState
+	if v := windowPool.Get(); v != nil {
+		ws = v.(*windowState)
+		ws.key, ws.level, ws.numIntervals = key, level, n
+	} else {
+		ws = &windowState{
+			key:          key,
+			level:        level,
+			numIntervals: n,
+			fulfilled:    make(map[Time]ident.ID),
+		}
 	}
 	s.windows[key] = ws
 	return ws, nil
@@ -763,12 +908,19 @@ func (s *Scheduler) getInterval(lvl int, start Time) (*interval, error) {
 	if iv, ok := s.ivs[key]; ok {
 		return iv, nil
 	}
-	iv := &interval{
-		level:    lvl,
-		start:    key.start,
-		span:     align.IntervalSpan(lvl),
-		resCount: make(map[winKey]int),
-		assigned: make(map[Time]winKey),
+	var iv *interval
+	if v := intervalPool.Get(); v != nil {
+		iv = v.(*interval)
+		iv.level, iv.start, iv.span = lvl, key.start, align.IntervalSpan(lvl)
+	} else {
+		iv = &interval{
+			level:     lvl,
+			start:     key.start,
+			span:      align.IntervalSpan(lvl),
+			resCount:  make(map[winKey]int),
+			assigned:  make(map[Time]winKey),
+			fullCount: make(map[winKey]int),
+		}
 	}
 	s.ivs[key] = iv
 	// Base reservations: one per enclosing window, fulfilled in

@@ -26,8 +26,10 @@ func (s *Scheduler) LevelBreakdown() []LevelStats {
 	for l := range out {
 		out[l].Level = l
 	}
-	for _, j := range s.jobs {
-		out[j.level].Jobs++
+	for _, j := range s.byID {
+		if j != nil {
+			out[j.level].Jobs++
+		}
 	}
 	for _, ws := range s.windows {
 		out[ws.level].Windows++
@@ -53,7 +55,7 @@ func (s *Scheduler) LevelBreakdown() []LevelStats {
 // sequences found by the stress shrinker.
 func (s *Scheduler) DebugDump(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "core scheduler: %d jobs, %d windows, %d intervals\n",
-		len(s.jobs), len(s.windows), len(s.ivs)); err != nil {
+		s.active, len(s.windows), len(s.ivs)); err != nil {
 		return err
 	}
 	if s.poisoned != nil {
@@ -63,13 +65,14 @@ func (s *Scheduler) DebugDump(w io.Writer) error {
 	}
 
 	// Jobs sorted by slot.
-	names := make([]string, 0, len(s.jobs))
-	for name := range s.jobs {
-		names = append(names, name)
+	js := make([]*jobState, 0, s.active)
+	for _, j := range s.byID {
+		if j != nil {
+			js = append(js, j)
+		}
 	}
-	sort.Slice(names, func(i, k int) bool { return s.jobs[names[i]].slot < s.jobs[names[k]].slot })
-	for _, name := range names {
-		j := s.jobs[name]
+	sort.Slice(js, func(i, k int) bool { return js[i].slot < js[k].slot })
+	for _, j := range js {
 		if _, err := fmt.Fprintf(w, "  job %-12s level %d window %-18v slot %d\n",
 			j.name, j.level, j.window(), j.slot); err != nil {
 			return err
@@ -102,9 +105,9 @@ func (s *Scheduler) DebugDump(w io.Writer) error {
 			return err
 		}
 		for _, t := range slots {
-			occ := ws.fulfilled[t]
-			if occ == "" {
-				occ = "-"
+			occ := "-"
+			if id := ws.fulfilled[t]; id != 0 {
+				occ = s.names.Name(id)
 			}
 			if _, err := fmt.Fprintf(w, " %d(%s)", t, occ); err != nil {
 				return err

@@ -1,0 +1,241 @@
+package ident
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternGetNameRoundTrip(t *testing.T) {
+	tab := New()
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a == None || b == None {
+		t.Fatalf("issued None: a=%d b=%d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct names share ID %d", a)
+	}
+	if got := tab.Intern("alpha"); got != a {
+		t.Fatalf("re-intern of alpha: got %d, want %d", got, a)
+	}
+	if got, ok := tab.Get("alpha"); !ok || got != a {
+		t.Fatalf("Get(alpha) = %d, %v; want %d, true", got, ok, a)
+	}
+	if _, ok := tab.Get("gamma"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+	if got := tab.Name(a); got != "alpha" {
+		t.Fatalf("Name(%d) = %q, want alpha", a, got)
+	}
+	if got := tab.Name(None); got != "" {
+		t.Fatalf("Name(None) = %q", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+// TestIDReuseAfterDelete pins the free-list behavior: a released ID is
+// reissued (densely) to a later intern, and the old binding is gone.
+func TestIDReuseAfterDelete(t *testing.T) {
+	tab := New()
+	a := tab.Intern("a")
+	b := tab.Intern("b")
+	c := tab.Intern("c")
+	tab.Release(b)
+	if got := tab.Name(b); got != "" {
+		t.Fatalf("released ID still names %q", got)
+	}
+	if _, ok := tab.Get("b"); ok {
+		t.Fatal("released name still resolves")
+	}
+	d := tab.Intern("d")
+	if d != b {
+		t.Fatalf("freed ID not reused: got %d, want %d", d, b)
+	}
+	if got := tab.Name(d); got != "d" {
+		t.Fatalf("Name(%d) = %q, want d", d, got)
+	}
+	// The space stays dense: with 3 live names, Cap covers exactly the
+	// three issued IDs.
+	if cap := tab.Cap(); cap != int(c)+1 {
+		t.Fatalf("Cap = %d, want %d", cap, int(c)+1)
+	}
+	_ = a
+}
+
+func TestReleasePanics(t *testing.T) {
+	tab := New()
+	id := tab.Intern("x")
+	tab.Release(id)
+	for name, id := range map[string]ID{"double": id, "none": None, "unissued": 999} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%s) did not panic", name)
+				}
+			}()
+			tab.Release(id)
+		}()
+	}
+}
+
+// TestManyLiveNames pushes past 65k live names to prove the ID space is
+// not 16-bit anywhere, then releases and re-interns to exercise a big
+// free list.
+func TestManyLiveNames(t *testing.T) {
+	const n = 70_000
+	tab := NewSharded(8)
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = tab.Intern(fmt.Sprintf("job-%d", i))
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	seen := make(map[ID]int, n)
+	for i, id := range ids {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("jobs %d and %d share ID %d", prev, i, id)
+		}
+		seen[id] = i
+	}
+	for i := 0; i < n; i += 2 {
+		tab.Release(ids[i])
+	}
+	if tab.Len() != n/2 {
+		t.Fatalf("Len after releases = %d, want %d", tab.Len(), n/2)
+	}
+	// Reissue the released names: every stripe reuses its freed slots, so
+	// the ID space does not grow at all.
+	capBefore := tab.Cap()
+	for i := 0; i < n; i += 2 {
+		tab.Intern(fmt.Sprintf("job-%d", i))
+	}
+	if got := tab.Cap(); got != capBefore {
+		t.Fatalf("Cap grew from %d to %d despite a full free list", capBefore, got)
+	}
+	for i := 1; i < n; i += 2 {
+		if got := tab.Name(ids[i]); got != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("survivor %d renamed to %q", i, got)
+		}
+	}
+}
+
+// TestConcurrentInternRelease hammers one sharded table from many
+// goroutines under -race: per-goroutine disjoint name sets plus one
+// contended shared name.
+func TestConcurrentInternRelease(t *testing.T) {
+	tab := NewSharded(16)
+	const workers = 8
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("w%d-job-%d", w, r%17)
+				id := tab.Intern(name)
+				if got := tab.Name(id); got != name {
+					panic(fmt.Sprintf("Name(%d) = %q, want %q", id, got, name))
+				}
+				if id2, ok := tab.Get(name); !ok || id2 != id {
+					panic("Get disagrees with Intern")
+				}
+				tab.Release(id)
+				// Contended name: intern only (a release would race other
+				// workers' holds — the schedulers never share ownership).
+				tab.Intern("shared")
+				tab.Range(func(_ ID, n string) bool { return n != "" })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tab.Len(); got != 1 {
+		t.Fatalf("Len after churn = %d, want 1 (only the shared name)", got)
+	}
+}
+
+// TestStripeEncoding exercises every stripe count.
+func TestStripeEncoding(t *testing.T) {
+	for _, stripes := range []int{1, 2, 3, 4, 16, 200, MaxStripes, MaxStripes + 50} {
+		tab := NewSharded(stripes)
+		ids := make(map[ID]string)
+		for i := 0; i < 500; i++ {
+			name := fmt.Sprintf("s%d-n%d", stripes, i)
+			id := tab.Intern(name)
+			if prev, dup := ids[id]; dup {
+				t.Fatalf("stripes=%d: %q and %q share ID %d", stripes, prev, name, id)
+			}
+			ids[id] = name
+		}
+		for id, name := range ids {
+			if got := tab.Name(id); got != name {
+				t.Fatalf("stripes=%d: Name(%d) = %q, want %q", stripes, id, got, name)
+			}
+		}
+		got := 0
+		tab.Range(func(id ID, name string) bool {
+			if ids[id] != name {
+				t.Fatalf("stripes=%d: Range yields (%d, %q), want %q", stripes, id, name, ids[id])
+			}
+			got++
+			return true
+		})
+		if got != len(ids) {
+			t.Fatalf("stripes=%d: Range yielded %d names, want %d", stripes, got, len(ids))
+		}
+	}
+}
+
+func TestAppendNames(t *testing.T) {
+	tab := NewSharded(4)
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		n := fmt.Sprintf("n-%d", i)
+		tab.Intern(n)
+		want[n] = true
+	}
+	buf := make([]string, 0, 100)
+	buf = tab.AppendNames(buf[:0])
+	if len(buf) != len(want) {
+		t.Fatalf("AppendNames returned %d names, want %d", len(buf), len(want))
+	}
+	for _, n := range buf {
+		if !want[n] {
+			t.Fatalf("unexpected name %q", n)
+		}
+	}
+}
+
+func BenchmarkInternReleaseChurn(b *testing.B) {
+	tab := New()
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-job-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tab.Intern(names[i%len(names)])
+		tab.Release(id)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	tab := NewSharded(16)
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-job-%d", i)
+		tab.Intern(names[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tab.Get(names[i%len(names)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -20,6 +20,7 @@ package multi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/jobs"
 	"repro/internal/metrics"
@@ -95,9 +96,10 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 // rebuild shed, and re-exposes them to the layer above.
 func (s *Scheduler) dropEvicted(shed []string) {
 	for _, name := range shed {
-		if idx, ok := s.byJob[name]; ok {
-			key := s.windows[name]
-			s.forget(name, key, idx)
+		if id, idx, ok := s.lookup(name); ok {
+			key := s.wins[id]
+			s.forget(id, key, idx)
+			s.names.Release(id)
 			s.settleSkew(key)
 		}
 		s.evicted = append(s.evicted, name)
@@ -119,6 +121,7 @@ func (s *Scheduler) TakeBatchEvictions() []string {
 // machine that lost one; the lexicographically smallest mover).
 func (s *Scheduler) plan(reqs []jobs.Request, errs []error) []planOp {
 	sim := newBatchSim(s)
+	defer sim.release()
 	var ops []planOp
 	for i, r := range reqs {
 		switch r.Kind {
@@ -172,8 +175,16 @@ func (s *Scheduler) plan(reqs []jobs.Request, errs []error) []planOp {
 // rebuilt only after the bookkeeping is complete, since recoverMachine
 // replays the tracked jobs of the machine.
 func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error, costs []metrics.Cost, errs []error) {
-	needRecover := make(map[int]bool)
-	touched := make(map[winKey]bool)
+	// Failure recovery is rare: allocate its tracking lazily. The
+	// touched-window set reuses a per-scheduler scratch map (the wrapper
+	// is single-threaded), so a steady stream of batches stops paying
+	// for it.
+	var needRecover map[int]bool
+	if s.touched == nil {
+		s.touched = make(map[winKey]bool)
+	}
+	touched := s.touched
+	defer clear(touched)
 	for k := 0; k < len(ops); k++ {
 		op := ops[k]
 		touched[op.key] = true
@@ -186,12 +197,17 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 				costs[op.reqIdx].Add(opCost[k])
 				costs[op.reqIdx].Add(opCost[k+1])
 				costs[op.reqIdx].Migrations++ // the mover crossed machines
-				s.forget(op.req.Name, op.key, op.machine)
-				s.commit(op.req.Name, op.key, ins.machine)
+				if id, _, ok := s.lookup(op.req.Name); ok {
+					s.forget(id, op.key, op.machine)
+					s.commitID(id, op.key, ins.machine)
+				}
 			case dErr != nil && iErr == nil:
 				// The mover landed on the target but never left its source:
 				// undo the landing so it is not scheduled twice.
 				if _, uerr := s.machines[ins.machine].Delete(op.req.Name); uerr != nil {
+					if needRecover == nil {
+						needRecover = make(map[int]bool)
+					}
 					needRecover[ins.machine] = true
 				}
 				if errs[op.reqIdx] == nil {
@@ -200,7 +216,13 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 			case dErr == nil && iErr != nil:
 				// Drained but not re-placed: the mover leaves the scheduler.
 				costs[op.reqIdx].Add(opCost[k])
-				s.forget(op.req.Name, op.key, op.machine)
+				if id, _, ok := s.lookup(op.req.Name); ok {
+					s.forget(id, op.key, op.machine)
+					s.names.Release(id)
+				}
+				if needRecover == nil {
+					needRecover = make(map[int]bool)
+				}
 				needRecover[ins.machine] = true
 				if errs[op.reqIdx] == nil {
 					errs[op.reqIdx] = fmt.Errorf("multi: migration insert of %q failed: %w", op.req.Name, iErr)
@@ -215,6 +237,9 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 			costs[op.reqIdx].Add(opCost[k])
 			if opErr[k] != nil {
 				errs[op.reqIdx] = opErr[k]
+				if needRecover == nil {
+					needRecover = make(map[int]bool)
+				}
 				needRecover[op.machine] = true
 				continue
 			}
@@ -225,7 +250,10 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 				errs[op.reqIdx] = opErr[k]
 				continue
 			}
-			s.forget(op.req.Name, op.key, op.machine)
+			if id, _, ok := s.lookup(op.req.Name); ok {
+				s.forget(id, op.key, op.machine)
+				s.names.Release(id)
+			}
 		}
 	}
 	for mi := range needRecover {
@@ -244,8 +272,16 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 	}
 }
 
+// stringSet is the name-keyed overlay set of the batch planner; the
+// live routing state underneath is ID-keyed (idSet).
+type stringSet map[string]struct{}
+
 // batchSim is a copy-on-write overlay of the wrapper's routing state,
 // used by plan so one batch reads the live maps without mutating them.
+// The overlay stays name-keyed — batch requests arrive as names, and
+// only batch-touched names enter it — while fall-through reads resolve
+// against the interned live state. Sims are pooled: a burst of batches
+// reuses the overlay maps instead of reallocating them per batch.
 type batchSim struct {
 	s    *Scheduler
 	loc  map[string]int    // name -> machine; -1 marks an in-batch delete
@@ -253,13 +289,29 @@ type batchSim struct {
 	sets map[winKey][]stringSet
 }
 
-func newBatchSim(s *Scheduler) *batchSim {
+var simPool = sync.Pool{New: func() any {
 	return &batchSim{
-		s:    s,
 		loc:  make(map[string]int),
 		win:  make(map[string]winKey),
 		sets: make(map[winKey][]stringSet),
 	}
+}}
+
+func newBatchSim(s *Scheduler) *batchSim {
+	b := simPool.Get().(*batchSim)
+	b.s = s
+	return b
+}
+
+// release returns the sim to the pool. Pooling invariant: every map is
+// cleared first, so no job names or scheduler pointers outlive the
+// batch through the pool.
+func (b *batchSim) release() {
+	b.s = nil
+	clear(b.loc)
+	clear(b.win)
+	clear(b.sets)
+	simPool.Put(b)
 }
 
 func (b *batchSim) lookup(name string) (int, bool) {
@@ -269,7 +321,7 @@ func (b *batchSim) lookup(name string) (int, bool) {
 		}
 		return idx, true
 	}
-	idx, ok := b.s.byJob[name]
+	_, idx, ok := b.s.lookup(name)
 	return idx, ok
 }
 
@@ -277,11 +329,15 @@ func (b *batchSim) window(name string) winKey {
 	if key, ok := b.win[name]; ok {
 		return key
 	}
-	return b.s.windows[name]
+	if id, ok := b.s.names.Get(name); ok {
+		return b.s.wins[id]
+	}
+	return winKey{}
 }
 
 // setsFor clones the per-machine W-job sets of key on first touch,
-// padded to the machine count.
+// padded to the machine count (IDs resolve back to names: the planner's
+// mover rule is lexicographic on names).
 func (b *batchSim) setsFor(key winKey) []stringSet {
 	if sets, ok := b.sets[key]; ok {
 		return sets
@@ -291,8 +347,8 @@ func (b *batchSim) setsFor(key winKey) []stringSet {
 	for i := range sets {
 		sets[i] = make(stringSet)
 		if i < len(live) {
-			for name := range live[i] {
-				sets[i][name] = struct{}{}
+			for id := range live[i] {
+				sets[i][b.s.names.Name(id)] = struct{}{}
 			}
 		}
 	}
@@ -303,16 +359,24 @@ func (b *batchSim) setsFor(key winKey) []stringSet {
 func (b *batchSim) commit(name string, key winKey, idx int) {
 	b.loc[name] = idx
 	b.win[name] = key
-	b.setsFor(key)[idx][name] = struct{}{}
+	if len(b.s.machines) > 1 {
+		b.setsFor(key)[idx][name] = struct{}{}
+	}
 }
 
 func (b *batchSim) forget(name string, key winKey, idx int) {
 	b.loc[name] = -1
-	delete(b.setsFor(key)[idx], name)
+	if len(b.s.machines) > 1 {
+		delete(b.setsFor(key)[idx], name)
+	}
 }
 
 // leastLoaded mirrors Scheduler.leastLoaded against the simulated sets.
+// One machine needs no sets: everything delegates to machine 0.
 func (b *batchSim) leastLoaded(key winKey) int {
+	if len(b.s.machines) == 1 {
+		return 0
+	}
 	sets := b.setsFor(key)
 	best, bestN := 0, -1
 	for i := range b.s.machines {
@@ -326,8 +390,12 @@ func (b *batchSim) leastLoaded(key winKey) int {
 
 // repair mirrors the delete-repair decision: after machine idx lost a
 // W-job, migrate one from the strictly fullest machine if it holds two
-// more. Returns the source machine and the mover.
+// more. Returns the source machine and the mover. One machine can never
+// satisfy the "two more than" condition, so it never repairs.
 func (b *batchSim) repair(key winKey, idx int) (int, string, bool) {
+	if len(b.s.machines) == 1 {
+		return 0, "", false
+	}
 	sets := b.setsFor(key)
 	from, fromN := -1, 0
 	for i := range b.s.machines {

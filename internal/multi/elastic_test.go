@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feasible"
+	"repro/internal/ident"
 	"repro/internal/sched"
 	"repro/internal/trim"
 )
@@ -64,11 +65,12 @@ func TestRemoveMachinesBoundedMigrations(t *testing.T) {
 		}
 	}
 	drained := 0
-	for _, idx := range s.byJob {
-		if idx >= 2 {
+	s.names.Range(func(id ident.ID, _ string) bool {
+		if int(s.mach[id]) >= 2 {
 			drained++
 		}
-	}
+		return true
+	})
 	cost, evicted, err := s.RemoveMachines(2)
 	if err != nil {
 		t.Fatal(err)
@@ -154,11 +156,12 @@ func TestElasticChurn(t *testing.T) {
 			}
 		case step%131 == 130 && s.Machines() > 2:
 			onDoomed := 0
-			for _, idx := range s.byJob {
-				if idx == s.Machines()-1 {
+			s.names.Range(func(id ident.ID, _ string) bool {
+				if int(s.mach[id]) == s.Machines()-1 {
 					onDoomed++
 				}
-			}
+				return true
+			})
 			cost, evicted, err := s.RemoveMachines(1)
 			if err != nil {
 				t.Fatalf("step %d shrink: %v", step, err)

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -50,9 +51,18 @@ func (k winKey) window() jobs.Window { return jobs.Window{Start: k.start, End: k
 type Scheduler struct {
 	factory  Factory
 	machines []sched.Scheduler
-	byJob    map[string]int         // job -> machine index
-	windows  map[string]winKey      // job -> window key
-	perWin   map[winKey][]stringSet // per machine: names of W-jobs
+
+	// names is the per-scheduler ID space; mach and wins are ID-indexed
+	// (machine index and window key of each active job), replacing two
+	// string-keyed maps on the per-request path. Strings survive only in
+	// the public snapshots, in error texts, and as the tie-breaker for
+	// migration movers (the lexicographic-mover rule predates the IDs
+	// and must keep picking the same job).
+	names *ident.Table
+	mach  []int32 // ID-indexed machine index; -1 = unused slot
+	wins  []winKey
+	// perWin tracks, per machine, the interned IDs of each window's jobs.
+	perWin map[winKey][]idSet
 	// skewCap relaxes the floor/ceil balance invariant for windows that
 	// were unbalanced by a pool resize: after AddMachines the new
 	// machines hold no jobs, so a window's per-machine spread may exceed
@@ -65,9 +75,13 @@ type Scheduler struct {
 	// evicted accumulates jobs the machines' batch rebuilds shed; see
 	// sched.BatchEvictor.
 	evicted []string
+
+	// touched is foldPlan's reusable touched-window scratch (cleared
+	// after every batch; the wrapper is single-threaded).
+	touched map[winKey]bool
 }
 
-type stringSet map[string]struct{}
+type idSet map[ident.ID]struct{}
 
 var (
 	_ sched.Scheduler = (*Scheduler)(nil)
@@ -82,9 +96,10 @@ func New(m int, factory Factory) *Scheduler {
 	s := &Scheduler{
 		factory:  factory,
 		machines: make([]sched.Scheduler, m),
-		byJob:    make(map[string]int),
-		windows:  make(map[string]winKey),
-		perWin:   make(map[winKey][]stringSet),
+		names:    ident.New(),
+		mach:     make([]int32, 1), // ID 0 is ident.None
+		wins:     make([]winKey, 1),
+		perWin:   make(map[winKey][]idSet),
 		skewCap:  make(map[winKey]int),
 	}
 	for i := range s.machines {
@@ -93,25 +108,35 @@ func New(m int, factory Factory) *Scheduler {
 	return s
 }
 
+// lookup resolves an active job name to its (ID, machine index).
+func (s *Scheduler) lookup(name string) (ident.ID, int, bool) {
+	id, ok := s.names.Get(name)
+	if !ok {
+		return ident.None, 0, false
+	}
+	return id, int(s.mach[id]), true
+}
+
 // Machines returns the current machine count.
 func (s *Scheduler) Machines() int { return len(s.machines) }
 
 // Active returns the number of active jobs.
-func (s *Scheduler) Active() int { return len(s.byJob) }
+func (s *Scheduler) Active() int { return s.names.Len() }
 
 // Jobs returns a snapshot of the active job set.
 func (s *Scheduler) Jobs() []jobs.Job {
-	out := make([]jobs.Job, 0, len(s.byJob))
-	for name, key := range s.windows {
-		out = append(out, jobs.Job{Name: name, Window: key.window()})
-	}
+	out := make([]jobs.Job, 0, s.names.Len())
+	s.names.Range(func(id ident.ID, name string) bool {
+		out = append(out, jobs.Job{Name: name, Window: s.wins[id].window()})
+		return true
+	})
 	return out
 }
 
 // Assignment merges the per-machine assignments, tagging each placement
 // with its machine index.
 func (s *Scheduler) Assignment() jobs.Assignment {
-	out := make(jobs.Assignment, len(s.byJob))
+	out := make(jobs.Assignment, s.names.Len())
 	for i, m := range s.machines {
 		for name, p := range m.Assignment() {
 			out[name] = jobs.Placement{Machine: i, Slot: p.Slot}
@@ -121,7 +146,7 @@ func (s *Scheduler) Assignment() jobs.Assignment {
 }
 
 // count returns how many key-jobs machine i holds.
-func (s *Scheduler) count(sets []stringSet, i int) int {
+func (s *Scheduler) count(sets []idSet, i int) int {
 	if i >= len(sets) {
 		return 0
 	}
@@ -150,7 +175,7 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if !j.Window.IsAligned() {
 		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
 	}
-	if _, dup := s.byJob[j.Name]; dup {
+	if _, ok := s.names.Get(j.Name); ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
 	key := winKey{start: j.Window.Start, span: j.Window.Span()}
@@ -171,16 +196,17 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 // more W-jobs than the one that lost a job), one W-job migrates to the
 // emptier machine (at most one migration).
 func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
-	idx, ok := s.byJob[name]
+	id, idx, ok := s.lookup(name)
 	if !ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
 	}
-	key := s.windows[name]
+	key := s.wins[id]
 	cost, err := s.machines[idx].Delete(name)
 	if err != nil {
 		return cost, err
 	}
-	s.forget(name, key, idx)
+	s.forget(id, key, idx)
+	s.names.Release(id)
 
 	// Repair: pull one W-job from a fullest machine if it holds two more
 	// than the machine that just lost a job.
@@ -195,7 +221,7 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 		s.settleSkew(key)
 		return cost, nil
 	}
-	mover, ok := s.anyJobOn(key, from)
+	mover, moverID, ok := s.anyJobOn(key, from)
 	if !ok {
 		return cost, fmt.Errorf("multi: balance invariant broken: no %v job on machine %d", key.window(), from)
 	}
@@ -213,8 +239,8 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	}
 	cost.Add(ic)
 	cost.Migrations++ // the mover crossed machines
-	s.forget(mover, key, from)
-	s.commit(mover, key, idx)
+	s.forget(moverID, key, from)
+	s.commitID(moverID, key, idx)
 	s.settleSkew(key)
 	return cost, nil
 }
@@ -232,7 +258,7 @@ func (s *Scheduler) AddMachines(n int) error {
 	}
 	for key, sets := range s.perWin {
 		for len(sets) < len(s.machines) {
-			sets = append(sets, make(stringSet))
+			sets = append(sets, make(idSet))
 		}
 		s.perWin[key] = sets
 		s.settleSkew(key)
@@ -253,23 +279,25 @@ func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
 	keep := len(s.machines) - n
 
 	var doomed []string
-	for name, idx := range s.byJob {
-		if idx >= keep {
+	s.names.Range(func(id ident.ID, name string) bool {
+		if int(s.mach[id]) >= keep {
 			doomed = append(doomed, name)
 		}
-	}
+		return true
+	})
 	sort.Strings(doomed)
 
 	var evicted []jobs.Job
 	for _, name := range doomed {
-		idx, key := s.byJob[name], s.windows[name]
+		id, idx, _ := s.lookup(name)
+		key := s.wins[id]
 		j := jobs.Job{Name: name, Window: key.window()}
 		dc, err := s.machines[idx].Delete(name)
 		if err != nil {
 			return total, evicted, fmt.Errorf("multi: drain delete of %q failed: %w", name, err)
 		}
 		total.Add(dc)
-		s.forget(name, key, idx)
+		s.forget(id, key, idx)
 
 		// Try the surviving machines, emptiest (for this window) first.
 		placed := false
@@ -278,7 +306,7 @@ func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
 			if err == nil {
 				total.Add(ic)
 				total.Migrations++
-				s.commit(name, key, t)
+				s.commitID(id, key, t)
 				placed = true
 				break
 			}
@@ -287,10 +315,14 @@ func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
 			}
 		}
 		if !placed {
+			s.names.Release(id) // the job leaves the scheduler
 			evicted = append(evicted, j)
 		}
 	}
 
+	for _, m := range s.machines[keep:] {
+		sched.Recycle(m) // drained machines donate their structures
+	}
 	s.machines = s.machines[:keep]
 	for key, sets := range s.perWin {
 		if len(sets) > keep {
@@ -311,16 +343,32 @@ func (s *Scheduler) recoverMachine(idx int) error {
 		return nil
 	}
 	fresh := s.factory()
-	for name, mi := range s.byJob {
-		if mi != idx {
-			continue
+	var fail error
+	s.names.Range(func(id ident.ID, name string) bool {
+		if int(s.mach[id]) != idx {
+			return true
 		}
-		if _, err := fresh.Insert(jobs.Job{Name: name, Window: s.windows[name].window()}); err != nil {
-			return fmt.Errorf("multi: rebuild of machine %d failed reinserting %q: %w", idx, name, err)
+		if _, err := fresh.Insert(jobs.Job{Name: name, Window: s.wins[id].window()}); err != nil {
+			fail = fmt.Errorf("multi: rebuild of machine %d failed reinserting %q: %w", idx, name, err)
+			return false
 		}
+		return true
+	})
+	if fail != nil {
+		return fail
 	}
+	sched.Recycle(s.machines[idx])
 	s.machines[idx] = fresh
 	return nil
+}
+
+// Recycle implements sched.Recycler: every machine donates its
+// structures and the routing ID space resets.
+func (s *Scheduler) Recycle() {
+	for _, m := range s.machines {
+		sched.Recycle(m)
+	}
+	s.names.Reset()
 }
 
 // survivorsByLoad returns [0, keep) sorted by ascending key-job count,
@@ -337,28 +385,40 @@ func (s *Scheduler) survivorsByLoad(key winKey, keep int) []int {
 	return out
 }
 
+// commit interns the name and records the job on machine idx.
 func (s *Scheduler) commit(name string, key winKey, idx int) {
-	s.byJob[name] = idx
-	s.windows[name] = key
-	s.ensurePerWin(key)[idx][name] = struct{}{}
+	s.commitID(s.names.Intern(name), key, idx)
 }
 
-func (s *Scheduler) ensurePerWin(key winKey) []stringSet {
+// commitID records an already-interned job on machine idx.
+func (s *Scheduler) commitID(id ident.ID, key winKey, idx int) {
+	for int(id) >= len(s.mach) {
+		s.mach = append(s.mach, -1)
+		s.wins = append(s.wins, winKey{})
+	}
+	s.mach[id] = int32(idx)
+	s.wins[id] = key
+	s.ensurePerWin(key)[idx][id] = struct{}{}
+}
+
+func (s *Scheduler) ensurePerWin(key winKey) []idSet {
 	sets := s.perWin[key]
 	if len(sets) < len(s.machines) {
 		for len(sets) < len(s.machines) {
-			sets = append(sets, make(stringSet))
+			sets = append(sets, make(idSet))
 		}
 		s.perWin[key] = sets
 	}
 	return sets
 }
 
-func (s *Scheduler) forget(name string, key winKey, idx int) {
-	delete(s.byJob, name)
-	delete(s.windows, name)
+// forget removes the job's routing entry; it does NOT release the ID —
+// callers that take the job out of the scheduler (deletes, evictions)
+// release it themselves, while migration move pairs re-commit it.
+func (s *Scheduler) forget(id ident.ID, key winKey, idx int) {
+	s.mach[id] = -1
 	if sets := s.perWin[key]; sets != nil {
-		delete(sets[idx], name)
+		delete(sets[idx], id)
 	}
 }
 
@@ -389,18 +449,21 @@ func (s *Scheduler) settleSkew(key winKey) {
 	}
 }
 
-// anyJobOn returns a deterministic W-job on the given machine.
-func (s *Scheduler) anyJobOn(key winKey, idx int) (string, bool) {
+// anyJobOn returns a deterministic W-job on the given machine: the
+// lexicographically smallest name, exactly as the pre-ID implementation
+// picked it (a min scan instead of a full sort).
+func (s *Scheduler) anyJobOn(key winKey, idx int) (string, ident.ID, bool) {
 	sets := s.perWin[key]
 	if sets == nil || len(sets[idx]) == 0 {
-		return "", false
+		return "", ident.None, false
 	}
-	names := make([]string, 0, len(sets[idx]))
-	for n := range sets[idx] {
-		names = append(names, n)
+	best, bestID := "", ident.None
+	for id := range sets[idx] {
+		if name := s.names.Name(id); bestID == ident.None || name < best {
+			best, bestID = name, id
+		}
 	}
-	sort.Strings(names)
-	return names[0], true
+	return best, bestID, true
 }
 
 // SelfCheck validates the balance invariant (floor/ceil per window,
@@ -415,15 +478,22 @@ func (s *Scheduler) SelfCheck() error {
 	// Recount jobs per window per machine and cross-check the tracked
 	// sets.
 	recount := make(map[winKey][]int)
-	for name, idx := range s.byJob {
-		key := s.windows[name]
+	var fail error
+	s.names.Range(func(id ident.ID, name string) bool {
+		key := s.wins[id]
 		if recount[key] == nil {
 			recount[key] = make([]int, len(s.machines))
 		}
+		idx := int(s.mach[id])
 		if idx < 0 || idx >= len(s.machines) {
-			return fmt.Errorf("multi: job %q routed to machine %d of %d", name, idx, len(s.machines))
+			fail = fmt.Errorf("multi: job %q routed to machine %d of %d", name, idx, len(s.machines))
+			return false
 		}
 		recount[key][idx]++
+		return true
+	})
+	if fail != nil {
+		return fail
 	}
 	for key, per := range recount {
 		sets := s.perWin[key]
@@ -445,8 +515,9 @@ func (s *Scheduler) SelfCheck() error {
 	// Inner schedulers must agree with our routing.
 	for i, m := range s.machines {
 		for name := range m.Assignment() {
-			if s.byJob[name] != i {
-				return fmt.Errorf("multi: job %q on machine %d, routed to %d", name, i, s.byJob[name])
+			_, idx, ok := s.lookup(name)
+			if !ok || idx != i {
+				return fmt.Errorf("multi: job %q on machine %d, routed to %d (tracked=%v)", name, i, idx, ok)
 			}
 		}
 	}

@@ -88,6 +88,27 @@ func Poisoned(s Scheduler) error {
 	return nil
 }
 
+// Recycler is implemented by schedulers whose internal structures can
+// be returned to allocation pools when the scheduler is discarded. The
+// trimming wrappers rebuild by constructing a fresh inner scheduler and
+// dropping the old one; recycling the old one lets the fresh build
+// reuse its maps and structs instead of growing them from zero —
+// rebuild-heavy workloads otherwise spend their time in the allocator.
+//
+// Contract: Recycle is called at most once, after which the scheduler
+// must not be used — the caller drops every reference first.
+type Recycler interface {
+	Recycle()
+}
+
+// Recycle returns s's internal structures to their pools when s
+// supports it, and is a no-op otherwise.
+func Recycle(s Scheduler) {
+	if r, ok := s.(Recycler); ok {
+		r.Recycle()
+	}
+}
+
 // Elastic is implemented by schedulers whose machine pool can be
 // resized at runtime. Resizing is a control operation, not a request:
 // it is not part of the paper's request model, but the reallocation

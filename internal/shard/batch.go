@@ -33,6 +33,94 @@ import (
 
 var _ sched.BatchScheduler = (*Scheduler)(nil)
 
+// subScratch is the reusable per-shard sub-batch buffer of execBatchOn.
+// Pooled so a steady stream of batches fans out without reallocating
+// the request slices. Pooling invariant: reqs is cleared (request
+// structs zeroed, dropping their name strings) before return-to-pool.
+type subScratch struct {
+	reqs  []jobs.Request
+	flags []bool
+}
+
+var subPool = sync.Pool{New: func() any { return new(subScratch) }}
+
+// routeScratch is ApplyBatch's reusable routing state: the per-shard
+// groups, the per-request shard/primary tables, and the per-name
+// overlay maps of the routing and reconcile passes. Pooled so a steady
+// stream of batches reuses the buffers. Pooling invariant: the maps are
+// cleared (dropping their name-string keys) and the slices resliced to
+// zero length before return-to-pool.
+type routeScratch struct {
+	groups       [][]int
+	shardOf      []int
+	primaries    []int
+	live         map[string]int
+	deletedAt    map[string]int
+	deferredName map[string]bool
+	overflow     map[int]bool
+	retriedTo    map[string]int
+}
+
+var routePool = sync.Pool{New: func() any {
+	return &routeScratch{
+		live:         make(map[string]int),
+		deletedAt:    make(map[string]int),
+		deferredName: make(map[string]bool),
+		overflow:     make(map[int]bool),
+		retriedTo:    make(map[string]int),
+	}
+}}
+
+func takeRoute(shards, reqs int) *routeScratch {
+	sc := routePool.Get().(*routeScratch)
+	sc.resetGroups(shards)
+	if cap(sc.shardOf) < reqs {
+		sc.shardOf = make([]int, reqs)
+		sc.primaries = make([]int, reqs)
+	}
+	sc.shardOf = sc.shardOf[:reqs]
+	sc.primaries = sc.primaries[:reqs]
+	return sc
+}
+
+// resetGroups readies the per-shard group lists for a routing pass,
+// keeping each shard's backing array.
+func (sc *routeScratch) resetGroups(shards int) {
+	for len(sc.groups) < shards {
+		sc.groups = append(sc.groups, nil)
+	}
+	sc.groups = sc.groups[:shards]
+	for i := range sc.groups {
+		sc.groups[i] = sc.groups[i][:0]
+	}
+}
+
+func putRoute(sc *routeScratch) {
+	clear(sc.live)
+	clear(sc.deletedAt)
+	clear(sc.deferredName)
+	clear(sc.overflow)
+	clear(sc.retriedTo)
+	routePool.Put(sc)
+}
+
+func takeSub(n int) *subScratch {
+	b := subPool.Get().(*subScratch)
+	if cap(b.reqs) < n {
+		b.reqs = make([]jobs.Request, n)
+		b.flags = make([]bool, n)
+	}
+	b.reqs = b.reqs[:n]
+	b.flags = b.flags[:n]
+	clear(b.flags)
+	return b
+}
+
+func putSub(b *subScratch) {
+	clear(b.reqs) // zero the name strings before pooling
+	subPool.Put(b)
+}
+
 // ApplyBatch serves the batch with shard-parallel sub-batches. It is
 // synchronous (like Apply) and safe for concurrent use. See
 // sched.BatchScheduler for the shared bulk semantics; after Close every
@@ -50,10 +138,12 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 		return costs, sched.NewBatchError(errs)
 	}
 
-	groups, shardOf, deferred := s.routeBatch(reqs, errs)
+	sc := takeRoute(len(s.workers), len(reqs))
+	defer putRoute(sc)
+	deferred := s.routeBatch(sc, reqs, errs)
 	var shed []string
-	s.fanOut(groups, reqs, costs, errs, nil, &shed)
-	s.reconcile(reqs, shardOf, deferred, costs, errs, &shed)
+	s.fanOut(sc.groups, reqs, costs, errs, nil, &shed)
+	s.reconcile(sc, reqs, deferred, costs, errs, &shed)
 	return costs, sched.WithEvictions(sched.NewBatchError(errs), shed)
 }
 
@@ -70,13 +160,13 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 // in batch order, so a batch may freely insert, delete, and re-insert a
 // name — exactly like back-to-back Apply calls.
 //
-// It returns the per-shard groups of batch indices (in batch order),
-// each routed request's shard (-1 when not routed in pass 1), and the
-// deferred request indices.
-func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []int, []int) {
-	groups := make([][]int, len(s.workers))
-	shardOf := make([]int, len(reqs))
-	primaries := make([]int, len(reqs))
+// It fills sc.groups with the per-shard groups of batch indices (in
+// batch order) and sc.shardOf with each routed request's shard (-1 when
+// not routed in pass 1), and returns the deferred request indices.
+func (s *Scheduler) routeBatch(sc *routeScratch, reqs []jobs.Request, errs []error) []int {
+	groups := sc.groups
+	shardOf := sc.shardOf
+	primaries := sc.primaries
 	for i, r := range reqs {
 		shardOf[i] = -1
 		primaries[i] = -1
@@ -92,9 +182,9 @@ func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []in
 	// is a delete (value: the delete's shard), deferredName names whose
 	// chain moved to the reconcile pass — every later request on such a
 	// name defers too, preserving its order.
-	live := make(map[string]int, len(reqs))
-	deletedAt := make(map[string]int, len(reqs))
-	deferredName := make(map[string]bool)
+	live := sc.live
+	deletedAt := sc.deletedAt
+	deferredName := sc.deferredName
 	var deferred []int
 	var slow []int // deletes of resize-migrating jobs
 	s.mu.Lock()
@@ -114,7 +204,7 @@ func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []in
 			}
 			if ds, wasDeleted := deletedAt[r.Name]; wasDeleted {
 				// Re-insert after an in-batch delete. On the same shard it
-				// rides behind the delete (the existing byJob entry keeps
+				// rides behind the delete (the existing routing entry keeps
 				// blocking concurrent inserts); across shards it defers.
 				if primaries[i] == ds {
 					s.inflight[ds]++
@@ -128,11 +218,12 @@ func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []in
 				deferred = append(deferred, i)
 				continue
 			}
-			if _, dup := s.byJob[r.Name]; dup {
+			id := s.names.Intern(r.Name)
+			if _, dup := s.routeOf(id); dup {
 				errs[i] = duplicateErr(r.Name)
 				continue
 			}
-			s.byJob[r.Name] = reservedShard
+			s.setRoute(id, reservedShard)
 			s.inflight[primaries[i]]++
 			shardOf[i] = primaries[i]
 			groups[primaries[i]] = append(groups[primaries[i]], i)
@@ -155,7 +246,7 @@ func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []in
 				groups[ds] = append(groups[ds], i)
 				continue
 			}
-			idx, ok := s.byJob[r.Name]
+			_, idx, ok := s.trackedID(r.Name)
 			switch {
 			case !ok || idx == reservedShard:
 				errs[i] = fmt.Errorf("%w: %q", sched.ErrUnknownJob, r.Name)
@@ -182,7 +273,7 @@ func (s *Scheduler) routeBatch(reqs []jobs.Request, errs []error) ([][]int, []in
 		shardOf[i] = idx
 		groups[idx] = append(groups[idx], i)
 	}
-	return groups, shardOf, deferred
+	return deferred
 }
 
 // fanOut sends every non-empty group to its shard worker as one control
@@ -210,11 +301,11 @@ func (s *Scheduler) fanOut(groups [][]int, reqs []jobs.Request, costs []metrics.
 				}
 				s.inflight[si]--
 				// Only drop an actual reservation: a ride-behind
-				// re-insert holds none — the byJob entry still belongs
+				// re-insert holds none — the routing entry still belongs
 				// to the committed job whose delete (in this same failed
 				// group) never ran.
-				if v, ok := s.byJob[reqs[i].Name]; ok && v == reservedShard {
-					delete(s.byJob, reqs[i].Name)
+				if id, v, ok := s.trackedID(reqs[i].Name); ok && v == reservedShard {
+					s.dropRoute(id)
 				}
 			}
 			s.mu.Unlock()
@@ -229,7 +320,9 @@ func (s *Scheduler) fanOut(groups [][]int, reqs []jobs.Request, costs []metrics.
 // before the control task finishes — so self-checks and snapshots
 // queued behind the batch observe a consistent shard.
 func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.ShardCost, reqs []jobs.Request, idxs []int, costs []metrics.Cost, errs []error, overflow map[int]bool, shedOut *[]string) {
-	sub := make([]jobs.Request, len(idxs))
+	scratch := takeSub(len(idxs))
+	defer putSub(scratch)
+	sub := scratch.reqs
 	for k, i := range idxs {
 		sub[k] = reqs[i]
 	}
@@ -240,7 +333,7 @@ func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.Shard
 	}
 	st.Batches++
 	retryable := overflow == nil && len(s.workers) > 1
-	rerouting := make([]bool, len(idxs))
+	rerouting := scratch.flags
 	for k, i := range idxs {
 		var e error
 		switch {
@@ -270,8 +363,8 @@ func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.Shard
 	shed := sched.TakeBatchEvictions(inner)
 	s.mu.Lock()
 	for _, name := range shed {
-		if idx, ok := s.byJob[name]; ok && idx == si {
-			delete(s.byJob, name)
+		if id, idx, ok := s.trackedID(name); ok && idx == si {
+			s.dropRoute(id)
 			s.loads[si]--
 			s.active--
 		}
@@ -291,19 +384,24 @@ func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.Shard
 				// ride-behind re-insert has no reservedShard entry of its
 				// own (its chain's preceding delete may have failed,
 				// leaving the committed entry in place).
-				if v, ok := s.byJob[reqs[i].Name]; ok && v == reservedShard {
-					delete(s.byJob, reqs[i].Name)
+				if id, v, ok := s.trackedID(reqs[i].Name); ok && v == reservedShard {
+					s.dropRoute(id)
 				}
 				continue
 			}
-			s.byJob[reqs[i].Name] = si
+			// Intern, not Get: a ride-behind re-insert follows its
+			// chain's delete, which released the name's previous ID in
+			// this same commit loop.
+			s.setRoute(s.names.Intern(reqs[i].Name), si)
 			s.loads[si]++
 			s.active++
 		case jobs.Delete:
 			if errs[i] == nil {
-				delete(s.byJob, reqs[i].Name)
-				s.loads[si]--
-				s.active--
+				if id, _, ok := s.trackedID(reqs[i].Name); ok {
+					s.dropRoute(id)
+					s.loads[si]--
+					s.active--
+				}
 			}
 		}
 	}
@@ -317,14 +415,21 @@ func (s *Scheduler) execBatchOn(si int, inner sched.Scheduler, st *metrics.Shard
 // name either belongs to a retried insert or resolved to a different
 // shard (a concurrent resize migrated the job). Whatever still fails is
 // terminal.
-func (s *Scheduler) reconcile(reqs []jobs.Request, shardOf []int, deferred []int, costs []metrics.Cost, errs []error, shed *[]string) {
-	groups := make([][]int, len(s.workers))
-	overflow := make(map[int]bool)
+func (s *Scheduler) reconcile(sc *routeScratch, reqs []jobs.Request, deferred []int, costs []metrics.Cost, errs []error, shed *[]string) {
+	// Pass 1's groups are fully served: reuse the scratch for the
+	// reconcile groups. The overlay maps are reused likewise (the
+	// overflow map must be non-nil even when empty — execBatchOn reads
+	// nil as "this is pass 1").
+	sc.resetGroups(len(s.workers))
+	groups := sc.groups
+	shardOf := sc.shardOf
+	overflow := sc.overflow
 	any := false
 
 	// Deferred chains route against the post-pass-1 routing table, with
 	// the same in-batch ordering rules as routeBatch.
-	live := make(map[string]int, len(deferred))
+	clear(sc.live)
+	live := sc.live
 	for _, i := range deferred {
 		r := reqs[i]
 		switch r.Kind {
@@ -336,14 +441,15 @@ func (s *Scheduler) reconcile(reqs []jobs.Request, shardOf []int, deferred []int
 				errs[i] = duplicateErr(r.Name)
 				continue
 			}
-			if _, dup := s.byJob[r.Name]; dup {
+			id := s.names.Intern(r.Name)
+			if _, dup := s.routeOf(id); dup {
 				// The chain's pass-1 delete failed (or a concurrent insert
 				// won the name): same verdict back-to-back Apply gives.
 				s.mu.Unlock()
 				errs[i] = duplicateErr(r.Name)
 				continue
 			}
-			s.byJob[r.Name] = reservedShard
+			s.setRoute(id, reservedShard)
 			s.inflight[primary]++
 			s.mu.Unlock()
 			shardOf[i] = primary
@@ -362,7 +468,7 @@ func (s *Scheduler) reconcile(reqs []jobs.Request, shardOf []int, deferred []int
 		}
 	}
 
-	retriedTo := make(map[string]int)
+	retriedTo := sc.retriedTo
 	for i, r := range reqs {
 		if errs[i] == nil || shardOf[i] < 0 {
 			continue
@@ -371,7 +477,12 @@ func (s *Scheduler) reconcile(reqs []jobs.Request, shardOf []int, deferred []int
 		case r.Kind == jobs.Insert && len(s.workers) > 1 && errors.Is(errs[i], sched.ErrInfeasible):
 			fb := s.leastLoaded(shardOf[i])
 			if fb == shardOf[i] {
-				s.commitInsert(r.Name, shardOf[i], errs[i])
+				s.mu.Lock()
+				s.inflight[shardOf[i]]--
+				if id, v, ok := s.trackedID(r.Name); ok && v == reservedShard {
+					s.dropRoute(id)
+				}
+				s.mu.Unlock()
 				continue
 			}
 			s.mu.Lock()

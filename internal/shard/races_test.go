@@ -80,6 +80,55 @@ func TestDrainTruncatesRetainedErrors(t *testing.T) {
 	}
 }
 
+// TestDrainConsumeOnce pins the drained-error handoff as consume-once:
+// a failure is reported by exactly one Drain call. After a Drain that
+// hit the maxRetainedErrs truncation, a later Drain must count ONLY the
+// failures recorded after the first Drain's cut — never re-report (or
+// re-count) errors the prior call already returned — and a Drain with
+// nothing new must be clean.
+func TestDrainConsumeOnce(t *testing.T) {
+	s := New(Config{
+		Shards: 2, Machines: 2,
+		Factory: func(m int) sched.Scheduler { return rejecting{stackFactory(m)} },
+	})
+	defer s.Close()
+
+	submitFailures := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := s.Submit(jobs.InsertReq(fmt.Sprintf("batch-%d-%02d", n, i), 0, 64)); err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+		}
+	}
+
+	const first = maxRetainedErrs + 5
+	submitFailures(first)
+	err := s.Drain()
+	if err == nil {
+		t.Fatal("first Drain reported no error")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("%d async request(s) failed", first)) {
+		t.Fatalf("first Drain error %q does not report count %d", err, first)
+	}
+
+	// New failures after the cut: the second Drain reports exactly these,
+	// not first+second.
+	const second = 3
+	submitFailures(second)
+	err = s.Drain()
+	if err == nil {
+		t.Fatal("second Drain reported no error")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("%d async request(s) failed", second)) {
+		t.Fatalf("second Drain error %q re-reports drained failures (want count %d)", err, second)
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatalf("third Drain with nothing new reported %v", err)
+	}
+}
+
 // TestClosedSchedulerErrClosedConsistently pins the post-Close error
 // contract: EVERY entry point — sync Apply (insert, delete of a known
 // name, delete of an unknown name), the Insert/Delete methods, async

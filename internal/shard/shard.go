@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -57,6 +58,9 @@ const (
 	// migratingShard marks a name a pool shrink evicted from its shard
 	// and is moving to another; deletes wait for the move to settle.
 	migratingShard = -2
+	// noShard marks an unused slot of the ID-indexed routing table (the
+	// ID is not currently issued, or its insert never committed).
+	noShard = -3
 )
 
 // defaultBuffer is the per-shard request channel capacity.
@@ -115,11 +119,24 @@ type Scheduler struct {
 	policy    Policy
 	batchSize int
 
+	// names interns every tracked job name; routing is the ID-indexed
+	// shard table, holding a shard index or a negative marker
+	// (reservedShard, migratingShard, noShard). Invariant, under mu: a
+	// name is interned if and only if its routing slot is not noShard —
+	// whoever transitions a slot to noShard releases the ID in the same
+	// critical section, so captured IDs stay valid exactly as long as
+	// their routing entry is owned. Every intern/release deliberately
+	// runs UNDER mu (a 1-stripe table, so IDs stay fully dense):
+	// interning outside the lock would race ID release/reuse — a freed
+	// ID could be reissued to a different name between a dispatcher's
+	// intern and its routing-table write, and two names would then claim
+	// one routing slot.
 	mu       sync.RWMutex
-	byJob    map[string]int // name -> shard, or a negative marker
-	active   int            // committed entries in byJob
-	loads    []int          // committed jobs per shard
-	inflight []int          // in-flight insert reservations per shard
+	names    *ident.Table
+	routing  []int32
+	active   int   // committed entries in the routing table
+	loads    []int // committed jobs per shard
+	inflight []int // in-flight insert reservations per shard
 	resizes  []metrics.ResizeCost
 
 	// rangeMu guards the machine-range view (worker.base/machines):
@@ -219,7 +236,7 @@ func New(cfg Config) *Scheduler {
 		workers:   make([]*worker, cfg.Shards),
 		policy:    cfg.Policy,
 		batchSize: cfg.BatchSize,
-		byJob:     make(map[string]int),
+		names:     ident.New(),
 		loads:     make([]int, cfg.Shards),
 		inflight:  make([]int, cfg.Shards),
 	}
@@ -306,6 +323,48 @@ func (w *worker) exec(t task) {
 	t.finish(c, err)
 }
 
+// routeOf returns the routing value of id and whether it is tracked.
+// Requires mu (read) held.
+func (s *Scheduler) routeOf(id ident.ID) (int, bool) {
+	if int(id) < len(s.routing) && s.routing[id] != noShard {
+		return int(s.routing[id]), true
+	}
+	return 0, false
+}
+
+// setRoute writes id's routing value, growing the table on demand.
+// Requires mu (write) held.
+func (s *Scheduler) setRoute(id ident.ID, v int) {
+	for int(id) >= len(s.routing) {
+		s.routing = append(s.routing, noShard)
+	}
+	s.routing[id] = int32(v)
+}
+
+// dropRoute removes id from the routing table and releases the ID,
+// reporting whether it was tracked. Requires mu (write) held; this is
+// the ONLY place a tracked ID is released, which is what keeps the
+// interned⇔tracked invariant.
+func (s *Scheduler) dropRoute(id ident.ID) bool {
+	if _, ok := s.routeOf(id); !ok {
+		return false
+	}
+	s.routing[id] = noShard
+	s.names.Release(id)
+	return true
+}
+
+// trackedID resolves a name to its ID if the name is currently tracked.
+// Requires mu (read) held.
+func (s *Scheduler) trackedID(name string) (ident.ID, int, bool) {
+	id, ok := s.names.Get(name)
+	if !ok {
+		return ident.None, 0, false
+	}
+	v, ok := s.routeOf(id)
+	return id, v, ok
+}
+
 // send enqueues a task on shard i, blocking when the shard's buffer is
 // full (backpressure). It fails with ErrClosed after Close.
 func (s *Scheduler) send(i int, t task) error {
@@ -364,18 +423,26 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 	return s.Apply(jobs.DeleteReq(name))
 }
 
+// response carries a synchronous request's outcome from the worker back
+// to the caller. The channels are pooled: a served request leaves its
+// channel empty, so it can immediately carry the next request.
+type response struct {
+	cost metrics.Cost
+	err  error
+}
+
+var respPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
 // Apply serves one request synchronously: it returns after the owning
 // shard worker has executed the request (including any overflow hop).
 func (s *Scheduler) Apply(r jobs.Request) (metrics.Cost, error) {
-	type response struct {
-		cost metrics.Cost
-		err  error
-	}
-	ch := make(chan response, 1)
+	ch := respPool.Get().(chan response)
 	if err := s.dispatch(r, func(c metrics.Cost, err error) { ch <- response{c, err} }); err != nil {
+		respPool.Put(ch)
 		return metrics.Cost{}, err
 	}
 	resp := <-ch
+	respPool.Put(ch)
 	return resp.cost, resp.err
 }
 
@@ -425,19 +492,30 @@ func (s *Scheduler) pendWait() {
 
 // Drain blocks until every outstanding Submit has been served, then
 // reports asynchronous failures: nil if all succeeded, otherwise an
-// error summarizing the count and the first few failures. The failure
-// log resets on return.
+// error summarizing the count and the first retained failure.
+//
+// The handoff is consume-once: Drain takes the whole retained log (and
+// the count, which keeps counting past the maxRetainedErrs retention
+// cap) in one atomic cut, so a failure is reported by exactly one Drain
+// call — a later Drain never re-reports errors a prior Drain already
+// returned, and failures recorded after the cut wait for the next
+// Drain.
 func (s *Scheduler) Drain() error {
 	s.pendWait()
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	if s.errCount == 0 {
+	errs, n := s.takeAsyncErrs()
+	if n == 0 {
 		return nil
 	}
-	err := fmt.Errorf("shard: %d async request(s) failed, first: %w", s.errCount, s.asyncErrs[0])
-	s.asyncErrs = nil
-	s.errCount = 0
-	return err
+	return fmt.Errorf("shard: %d async request(s) failed, first: %w", n, errs[0])
+}
+
+// takeAsyncErrs atomically consumes the retained failure log.
+func (s *Scheduler) takeAsyncErrs() ([]error, int) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	errs, n := s.asyncErrs, s.errCount
+	s.asyncErrs, s.errCount = nil, 0
+	return errs, n
 }
 
 const maxRetainedErrs = 16
@@ -479,11 +557,12 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, error)) error {
 	primary := s.policy.Route(r.Name, len(s.workers))
 	s.mu.Lock()
-	if _, dup := s.byJob[r.Name]; dup {
+	id := s.names.Intern(r.Name)
+	if _, dup := s.routeOf(id); dup {
 		s.mu.Unlock()
 		return duplicateErr(r.Name)
 	}
-	s.byJob[r.Name] = reservedShard
+	s.setRoute(id, reservedShard)
 	s.inflight[primary]++
 	s.mu.Unlock()
 
@@ -497,43 +576,44 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 				s.inflight[primary]--
 				s.inflight[fb]++
 				s.mu.Unlock()
-				go s.overflow(r, fb, finish)
+				go s.overflow(r, id, fb, finish)
 				return
 			}
 		}
-		s.commitInsert(r.Name, primary, err)
+		s.commitInsert(id, primary, err)
 		finish(c, err)
 	}})
 	if err != nil {
-		s.unreserve(r.Name, primary)
+		s.unreserve(id, primary)
 		return err
 	}
 	return nil
 }
 
-// overflow retries a rejected insert on shard fb.
-func (s *Scheduler) overflow(r jobs.Request, fb int, finish func(metrics.Cost, error)) {
+// overflow retries a rejected insert on shard fb. id is the insert's
+// reserved routing entry, owned by this in-flight request.
+func (s *Scheduler) overflow(r jobs.Request, id ident.ID, fb int, finish func(metrics.Cost, error)) {
 	err := s.send(fb, task{req: r, overflow: true, finish: func(c metrics.Cost, err error) {
-		s.commitInsert(r.Name, fb, err)
+		s.commitInsert(id, fb, err)
 		finish(c, err)
 	}})
 	if err != nil {
-		s.unreserve(r.Name, fb)
+		s.unreserve(id, fb)
 		finish(metrics.Cost{}, err)
 	}
 }
 
 // commitInsert settles an in-flight insert reservation on shard
 // shardIdx: into the routing table on success, dropped on failure.
-func (s *Scheduler) commitInsert(name string, shardIdx int, err error) {
+func (s *Scheduler) commitInsert(id ident.ID, shardIdx int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inflight[shardIdx]--
 	if err != nil {
-		delete(s.byJob, name)
+		s.dropRoute(id)
 		return
 	}
-	s.byJob[name] = shardIdx
+	s.setRoute(id, shardIdx)
 	s.loads[shardIdx]++
 	s.active++
 }
@@ -544,10 +624,10 @@ func duplicateErr(name string) error {
 	return fmt.Errorf("%w: %q", sched.ErrDuplicateJob, name)
 }
 
-func (s *Scheduler) unreserve(name string, shardIdx int) {
+func (s *Scheduler) unreserve(id ident.ID, shardIdx int) {
 	s.mu.Lock()
 	s.inflight[shardIdx]--
-	delete(s.byJob, name)
+	s.dropRoute(id)
 	s.mu.Unlock()
 }
 
@@ -556,7 +636,7 @@ func (s *Scheduler) unreserve(name string, shardIdx int) {
 func (s *Scheduler) resolveDeleteShard(name string) (int, error) {
 	for waited := time.Duration(0); ; waited += migrateSettleStep {
 		s.mu.RLock()
-		idx, ok := s.byJob[name]
+		_, idx, ok := s.trackedID(name)
 		s.mu.RUnlock()
 		switch {
 		case !ok || idx == reservedShard:
@@ -585,9 +665,16 @@ func (s *Scheduler) sendDelete(idx int, r jobs.Request, finish func(metrics.Cost
 	return s.send(idx, task{req: r, finish: func(c metrics.Cost, err error) {
 		if err == nil {
 			s.mu.Lock()
-			delete(s.byJob, r.Name)
-			s.loads[idx]--
-			s.active--
+			// Re-resolve the name before dropping: if the job was shed
+			// and re-inserted while this delete sat in the queue, the
+			// captured ID may have been recycled to another name, and
+			// dropping it blindly would corrupt that entry. The name's
+			// CURRENT entry on this shard is the one the inner delete
+			// just removed.
+			if curID, v, ok := s.trackedID(r.Name); ok && v == idx && s.dropRoute(curID) {
+				s.loads[idx]--
+				s.active--
+			}
 			s.mu.Unlock()
 			finish(c, nil)
 			return
@@ -863,7 +950,9 @@ func (s *Scheduler) resizeShardLocked(i, delta int) (metrics.ResizeCost, error) 
 		// chase the jobs instead of failing.
 		s.mu.Lock()
 		for _, j := range ev {
-			s.byJob[j.Name] = migratingShard
+			if id, _, ok := s.trackedID(j.Name); ok {
+				s.setRoute(id, migratingShard)
+			}
 		}
 		s.loads[i] -= len(ev)
 		s.active -= len(ev)
@@ -912,7 +1001,14 @@ func (s *Scheduler) placeEvicted(j jobs.Job, evictor int) (metrics.Cost, error) 
 		s.mu.Unlock()
 		c, err := s.applyOn(fb, r)
 		if err == nil {
-			s.commitInsert(j.Name, fb, nil)
+			s.mu.Lock()
+			s.inflight[fb]--
+			if id, _, ok := s.trackedID(j.Name); ok {
+				s.setRoute(id, fb)
+				s.loads[fb]++
+				s.active++
+			}
+			s.mu.Unlock()
 			return c, nil
 		}
 		s.mu.Lock()
@@ -924,7 +1020,9 @@ func (s *Scheduler) placeEvicted(j jobs.Job, evictor int) (metrics.Cost, error) 
 		}
 	}
 	s.mu.Lock()
-	delete(s.byJob, j.Name)
+	if id, _, ok := s.trackedID(j.Name); ok {
+		s.dropRoute(id)
+	}
 	s.mu.Unlock()
 	return metrics.Cost{}, lastErr
 }
@@ -932,18 +1030,16 @@ func (s *Scheduler) placeEvicted(j jobs.Job, evictor int) (metrics.Cost, error) 
 // applyOn serves one request synchronously on a specific shard,
 // bypassing routing (resize re-placements only).
 func (s *Scheduler) applyOn(i int, r jobs.Request) (metrics.Cost, error) {
-	type response struct {
-		cost metrics.Cost
-		err  error
-	}
-	ch := make(chan response, 1)
+	ch := respPool.Get().(chan response)
 	err := s.send(i, task{req: r, resizeMove: true, finish: func(c metrics.Cost, err error) {
 		ch <- response{c, err}
 	}})
 	if err != nil {
+		respPool.Put(ch)
 		return metrics.Cost{}, err
 	}
 	resp := <-ch
+	respPool.Put(ch)
 	return resp.cost, resp.err
 }
 
@@ -1052,15 +1148,26 @@ func (s *Scheduler) SelfCheck() error {
 	defer s.mu.RUnlock()
 	committed := 0
 	perShard := make([]int, len(s.workers))
-	for name, idx := range s.byJob {
+	var fail error
+	s.names.Range(func(id ident.ID, name string) bool {
+		idx, ok := s.routeOf(id)
+		if !ok {
+			fail = fmt.Errorf("shard: name %q interned without a routing entry", name)
+			return false
+		}
 		if idx < 0 {
-			continue // reserved or migrating: settled by in-flight work
+			return true // reserved or migrating: settled by in-flight work
 		}
 		committed++
 		perShard[idx]++
 		if !routed[idx][name] {
-			return fmt.Errorf("shard: job %q routed to shard %d but not present there", name, idx)
+			fail = fmt.Errorf("shard: job %q routed to shard %d but not present there", name, idx)
+			return false
 		}
+		return true
+	})
+	if fail != nil {
+		return fail
 	}
 	total := 0
 	for _, names := range routed {

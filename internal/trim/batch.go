@@ -77,10 +77,12 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 			}
 			switch r := reqs[i]; r.Kind {
 			case jobs.Insert:
-				s.originals[r.Name] = r.Window
+				s.setWin(s.names.Intern(r.Name), r.Window)
 				idxOf[r.Name] = i
 			case jobs.Delete:
-				delete(s.originals, r.Name)
+				if id, ok := s.names.Get(r.Name); ok {
+					s.names.Release(id)
+				}
 				delete(idxOf, r.Name)
 			}
 		}
@@ -115,10 +117,10 @@ func (s *Scheduler) planBatch(reqs []jobs.Request) batchPlan {
 		if v, ok := over[name]; ok {
 			return v
 		}
-		_, ok := s.originals[name]
+		_, ok := s.names.Get(name)
 		return ok
 	}
-	n := len(s.originals)
+	n := s.names.Len()
 	nStar := s.nStar
 	p := batchPlan{static: make([]error, len(reqs)), last: -1, nStarAtLast: s.nStar}
 	for i, r := range reqs {
@@ -180,7 +182,9 @@ func (s *Scheduler) planBatch(reqs []jobs.Request) batchPlan {
 func (s *Scheduler) rebuildDropping(idxOf map[string]int, errs []error) metrics.Cost {
 	var total metrics.Cost
 	drop := func(name string, err error) {
-		delete(s.originals, name)
+		if id, ok := s.names.Get(name); ok {
+			s.names.Release(id)
+		}
 		if i, ok := idxOf[name]; ok {
 			errs[i] = err
 			delete(idxOf, name)
@@ -189,25 +193,29 @@ func (s *Scheduler) rebuildDropping(idxOf map[string]int, errs []error) metrics.
 		}
 	}
 	for {
-		before := s.inner.Assignment()
+		old := s.inner
+		before := old.Assignment()
 		// Build a fresh inner schedule. A rejection can poison the
 		// half-built scheduler (the reservation core's mid-request
 		// state); when it does, restart the build without the dropped
 		// job — every restart shrinks the population, so this
 		// terminates. Clean rejections just drop and continue.
 		var fresh sched.Scheduler
+		scratch := takeScratch()
 		for {
 			s.rebuilds++
+			if fresh != nil {
+				sched.Recycle(fresh) // poisoned half-build: reuse its structures
+			}
 			fresh = s.factory()
 			cap := s.Cap()
-			names := make([]string, 0, len(s.originals))
-			for name := range s.originals {
-				names = append(names, name)
-			}
+			names := s.names.AppendNames((*scratch)[:0])
 			sort.Strings(names)
+			*scratch = names
 			poisoned := false
 			for _, name := range names {
-				j := jobs.Job{Name: name, Window: trimWindow(s.originals[name], cap)}
+				w, _, _ := s.winOf(name)
+				j := jobs.Job{Name: name, Window: trimWindow(w, cap)}
 				if _, err := fresh.Insert(j); err != nil {
 					drop(name, err)
 					if sched.Poisoned(fresh) != nil {
@@ -220,15 +228,17 @@ func (s *Scheduler) rebuildDropping(idxOf map[string]int, errs []error) metrics.
 				break
 			}
 		}
+		putScratch(scratch)
 		s.inner = fresh
 		moved, migrated := before.Diff(s.inner.Assignment())
+		sched.Recycle(old)
 		total.Add(metrics.Cost{Reallocations: moved, Migrations: migrated})
 
 		// Re-settle the thresholds after drops and rebuild again at the
 		// moved cap. This terminates: a round repeats only when the
 		// previous one dropped at least one job (otherwise n is unchanged
 		// and the settled n* matches), and the population only shrinks.
-		n := len(s.originals)
+		n := s.names.Len()
 		next := s.nStar
 		for n > next {
 			next *= 2

@@ -182,11 +182,31 @@ func (s *Incremental) Insert(j jobs.Job) (metrics.Cost, error) {
 	s.originals[j.Name] = j.Window
 	s.loc[j.Name] = target
 	if target == s.cur {
-		s.queue = append(s.queue, j.Name)
+		s.enqueueCur(j.Name)
 	}
 	extra, err := s.afterRequest()
 	cost.Add(extra)
 	return cost, err
+}
+
+// enqueueCur appends a cur-resident job to the FIFO queue, compacting
+// stale entries in place when the append would otherwise grow the
+// backing array. Compaction preserves order (so replays stay
+// deterministic) and reuses the existing capacity, which keeps the
+// steady-state insert/delete path allocation-free once the queue's
+// high-water capacity is reached.
+func (s *Incremental) enqueueCur(name string) {
+	if len(s.queue) == cap(s.queue) && cap(s.queue) >= 32 {
+		kept := s.queue[:0]
+		for _, n := range s.queue {
+			if inner, ok := s.loc[n]; ok && inner == s.cur {
+				kept = append(kept, n)
+			}
+		}
+		clear(s.queue[len(kept):]) // zero dropped string refs
+		s.queue = kept
+	}
+	s.queue = append(s.queue, name)
 }
 
 // Delete removes a job from whichever parity holds it.
@@ -275,6 +295,7 @@ func (s *Incremental) moveSome(k int) (metrics.Cost, error) {
 		moved++
 	}
 	if s.cur.Active() == 0 && s.pending != nil {
+		sched.Recycle(s.cur) // drained: donate its structures to the pools
 		s.cur = s.pending
 		s.pending = nil
 		s.parity = 1 - s.parity
@@ -297,13 +318,16 @@ func (s *Incremental) moveSome(k int) (metrics.Cost, error) {
 // is deterministic).
 func (s *Incremental) recoverInner(target sched.Scheduler, parity int64) error {
 	fresh := s.factory()
-	var held []string
+	scratch := takeScratch()
+	defer putScratch(scratch)
+	held := (*scratch)[:0]
 	for name, inner := range s.loc {
 		if inner == target {
 			held = append(held, name)
 		}
 	}
 	sort.Strings(held)
+	*scratch = held
 	for _, name := range held {
 		vj, err := s.prepared(name, s.originals[name], parity)
 		if err != nil {
@@ -323,7 +347,18 @@ func (s *Incremental) recoverInner(target sched.Scheduler, parity int64) error {
 	} else {
 		s.pending = fresh
 	}
+	sched.Recycle(target)
 	return nil
+}
+
+// Recycle implements sched.Recycler: both parities' inner schedulers
+// donate their structures, and the wrapper's own bookkeeping is
+// dropped.
+func (s *Incremental) Recycle() {
+	sched.Recycle(s.cur)
+	if s.pending != nil {
+		sched.Recycle(s.pending)
+	}
 }
 
 // nextCurJob pops the oldest job still resident in cur.

@@ -17,7 +17,9 @@ package trim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
@@ -27,14 +29,35 @@ import (
 // Factory builds a fresh inner single-machine scheduler for each rebuild.
 type Factory func() sched.Scheduler
 
+// scratchPool recycles the name slices the rebuild paths sort jobs
+// into. Rebuilds happen on every n* crossing across every trim instance
+// (one per machine per shard in the full stack), so pooling the scratch
+// keeps rebuild-heavy workloads from hammering the allocator.
+// Pooling invariant: the slice is cleared (string references zeroed)
+// before it goes back, so the pool never pins job names in memory.
+var scratchPool = sync.Pool{New: func() any { s := make([]string, 0, 64); return &s }}
+
+func takeScratch() *[]string { return scratchPool.Get().(*[]string) }
+
+func putScratch(buf *[]string) {
+	clear(*buf) // zero the string refs before pooling
+	*buf = (*buf)[:0]
+	scratchPool.Put(buf)
+}
+
 // Scheduler wraps an aligned single-machine scheduler with window
 // trimming and n* maintenance.
 type Scheduler struct {
-	factory   Factory
-	inner     sched.Scheduler
-	gamma     int64
-	nStar     int
-	originals map[string]jobs.Window // job -> original aligned window
+	factory Factory
+	inner   sched.Scheduler
+	gamma   int64
+	nStar   int
+
+	// names is the per-scheduler ID space of the active jobs; wins holds
+	// each job's original aligned window, indexed by interned ID. The
+	// pair replaces a map[string]jobs.Window on the per-request path.
+	names *ident.Table
+	wins  []jobs.Window
 
 	// rebuilds counts schedule rebuilds, exposed for experiments.
 	rebuilds int
@@ -42,6 +65,24 @@ type Scheduler struct {
 	// evicted accumulates pre-batch jobs a batch rebuild had to shed
 	// (non-underallocated streams only); see sched.BatchEvictor.
 	evicted []string
+}
+
+// setWin records the original window of an interned job.
+func (s *Scheduler) setWin(id ident.ID, w jobs.Window) {
+	for int(id) >= len(s.wins) {
+		s.wins = append(s.wins, jobs.Window{})
+	}
+	s.wins[id] = w
+}
+
+// winOf returns the original window of an active job by name. The
+// second result is false for inactive names.
+func (s *Scheduler) winOf(name string) (jobs.Window, ident.ID, bool) {
+	id, ok := s.names.Get(name)
+	if !ok {
+		return jobs.Window{}, ident.None, false
+	}
+	return s.wins[id], id, true
 }
 
 // TakeBatchEvictions implements sched.BatchEvictor: it returns and
@@ -63,11 +104,11 @@ func New(gamma int64, factory Factory) *Scheduler {
 		panic(fmt.Sprintf("trim: gamma %d < 1", gamma))
 	}
 	return &Scheduler{
-		factory:   factory,
-		inner:     factory(),
-		gamma:     gamma,
-		nStar:     1,
-		originals: make(map[string]jobs.Window),
+		factory: factory,
+		inner:   factory(),
+		gamma:   gamma,
+		nStar:   1,
+		names:   ident.New(),
 	}
 }
 
@@ -75,7 +116,7 @@ func New(gamma int64, factory Factory) *Scheduler {
 func (s *Scheduler) Machines() int { return s.inner.Machines() }
 
 // Active returns the number of active jobs.
-func (s *Scheduler) Active() int { return len(s.originals) }
+func (s *Scheduler) Active() int { return s.names.Len() }
 
 // NStar exposes the current estimate n* (for tests and experiments).
 func (s *Scheduler) NStar() int { return s.nStar }
@@ -90,10 +131,11 @@ func (s *Scheduler) Cap() int64 {
 
 // Jobs returns the active jobs with their original (untrimmed) windows.
 func (s *Scheduler) Jobs() []jobs.Job {
-	out := make([]jobs.Job, 0, len(s.originals))
-	for name, w := range s.originals {
-		out = append(out, jobs.Job{Name: name, Window: w})
-	}
+	out := make([]jobs.Job, 0, s.names.Len())
+	s.names.Range(func(id ident.ID, name string) bool {
+		out = append(out, jobs.Job{Name: name, Window: s.wins[id]})
+		return true
+	})
 	return out
 }
 
@@ -118,7 +160,7 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 	if !j.Window.IsAligned() {
 		return metrics.Cost{}, fmt.Errorf("%w: %v", sched.ErrMisaligned, j.Window)
 	}
-	if _, dup := s.originals[j.Name]; dup {
+	if _, ok := s.names.Get(j.Name); ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrDuplicateJob, j.Name)
 	}
 	trimmed := jobs.Job{Name: j.Name, Window: trimWindow(j.Window, s.Cap())}
@@ -141,7 +183,7 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 		}
 		return cost, err
 	}
-	s.originals[j.Name] = j.Window
+	s.setWin(s.names.Intern(j.Name), j.Window)
 	extra, err := s.maybeResize()
 	cost.Add(extra)
 	return cost, err
@@ -149,14 +191,15 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 
 // Delete removes a job and delegates.
 func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
-	if _, ok := s.originals[name]; !ok {
+	id, ok := s.names.Get(name)
+	if !ok {
 		return metrics.Cost{}, fmt.Errorf("%w: %q", sched.ErrUnknownJob, name)
 	}
 	cost, err := s.inner.Delete(name)
 	if err != nil {
 		return cost, err
 	}
-	delete(s.originals, name)
+	s.names.Release(id)
 	extra, err := s.maybeResize()
 	cost.Add(extra)
 	return cost, err
@@ -165,7 +208,7 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 // maybeResize adjusts n* and rebuilds the inner scheduler when the
 // active count crosses the doubling/halving thresholds.
 func (s *Scheduler) maybeResize() (metrics.Cost, error) {
-	n := len(s.originals)
+	n := s.names.Len()
 	changed := false
 	for n > s.nStar {
 		s.nStar *= 2
@@ -185,17 +228,19 @@ func (s *Scheduler) maybeResize() (metrics.Cost, error) {
 // trimmed to the new cap, counting every job whose placement changed.
 func (s *Scheduler) rebuild() (metrics.Cost, error) {
 	s.rebuilds++
-	before := s.inner.Assignment()
+	old := s.inner
+	before := old.Assignment()
 	fresh := s.factory()
 	cap := s.Cap()
 
-	names := make([]string, 0, len(s.originals))
-	for name := range s.originals {
-		names = append(names, name)
-	}
+	scratch := takeScratch()
+	defer putScratch(scratch)
+	names := s.names.AppendNames((*scratch)[:0])
 	sort.Strings(names)
+	*scratch = names
 	for _, name := range names {
-		j := jobs.Job{Name: name, Window: trimWindow(s.originals[name], cap)}
+		w, _, _ := s.winOf(name)
+		j := jobs.Job{Name: name, Window: trimWindow(w, cap)}
 		if _, err := fresh.Insert(j); err != nil {
 			return metrics.Cost{}, fmt.Errorf("trim: rebuild failed inserting %q: %w", name, err)
 		}
@@ -203,7 +248,16 @@ func (s *Scheduler) rebuild() (metrics.Cost, error) {
 	s.inner = fresh
 	after := s.inner.Assignment()
 	moved, migrated := before.Diff(after)
+	sched.Recycle(old) // the discarded schedule donates its structures
 	return metrics.Cost{Reallocations: moved, Migrations: migrated}, nil
+}
+
+// Recycle implements sched.Recycler: the wrapper recycles its inner
+// scheduler and resets its ID space. The Scheduler itself is not
+// pooled; the inner reservation structures are the expensive part.
+func (s *Scheduler) Recycle() {
+	sched.Recycle(s.inner)
+	s.names.Reset()
 }
 
 // SelfCheck validates the wrapper's bookkeeping and the inner scheduler.
@@ -211,10 +265,10 @@ func (s *Scheduler) SelfCheck() error {
 	if err := s.inner.SelfCheck(); err != nil {
 		return err
 	}
-	if s.inner.Active() != len(s.originals) {
-		return fmt.Errorf("trim: inner has %d jobs, wrapper tracks %d", s.inner.Active(), len(s.originals))
+	n := s.names.Len()
+	if s.inner.Active() != n {
+		return fmt.Errorf("trim: inner has %d jobs, wrapper tracks %d", s.inner.Active(), n)
 	}
-	n := len(s.originals)
 	if n > s.nStar {
 		return fmt.Errorf("trim: n=%d exceeds n*=%d", n, s.nStar)
 	}
@@ -223,17 +277,19 @@ func (s *Scheduler) SelfCheck() error {
 	}
 	cap := s.Cap()
 	asn := s.inner.Assignment()
-	for name, orig := range s.originals {
+	var fail error
+	s.names.Range(func(id ident.ID, name string) bool {
+		orig := s.wins[id]
 		p, ok := asn[name]
-		if !ok {
-			return fmt.Errorf("trim: job %q missing from inner assignment", name)
+		switch {
+		case !ok:
+			fail = fmt.Errorf("trim: job %q missing from inner assignment", name)
+		case !orig.Contains(p.Slot):
+			fail = fmt.Errorf("trim: job %q at slot %d outside original window %v", name, p.Slot, orig)
+		case !trimWindow(orig, cap).Contains(p.Slot):
+			fail = fmt.Errorf("trim: job %q at slot %d outside trimmed window", name, p.Slot)
 		}
-		if !orig.Contains(p.Slot) {
-			return fmt.Errorf("trim: job %q at slot %d outside original window %v", name, p.Slot, orig)
-		}
-		if !trimWindow(orig, cap).Contains(p.Slot) {
-			return fmt.Errorf("trim: job %q at slot %d outside trimmed window", name, p.Slot)
-		}
-	}
-	return nil
+		return fail == nil
+	})
+	return fail
 }

@@ -1,0 +1,167 @@
+// Golden replay: pin the string-level results of the public API so a
+// refactor of the internals (such as the interned-ID/pooled-buffer hot
+// path) can prove it preserved behavior byte for byte.
+//
+// The golden files under testdata/ were generated from the pre-refactor
+// (PR 3) stack with `go test -run TestReplayGolden -update-golden`; the
+// test renders the same deterministic request streams through today's
+// stack — every per-request cost, every error string, and the final
+// assignment — and requires the rendering to be identical. Regenerate
+// only when a change is MEANT to alter observable behavior, and say so
+// in the commit.
+package realloc
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden replay files")
+
+// replayCases are the pinned (stream, stack) combinations. Streams must
+// be deterministic functions of their seed; stacks must be the
+// single-threaded builds (the sharded front-end is nondeterministic by
+// design and is covered by the differential harness instead).
+func replayCases(t *testing.T) map[string]struct {
+	reqs  []jobs.Request
+	build func() Scheduler
+} {
+	t.Helper()
+	mixed, err := workload.Mixed(workload.MixedConfig{Seed: 7, Machines: 4, Horizon: 1 << 12, Steps: 3000})
+	if err != nil {
+		t.Fatalf("mixed workload: %v", err)
+	}
+	burstCfg := workload.BurstConfig{Seed: 11, Machines: 4}
+	if err := (&burstCfg).Fill(); err != nil {
+		t.Fatalf("burst config: %v", err)
+	}
+	burstCfg.Waves = 6
+	burst, err := workload.Burst(burstCfg)
+	if err != nil {
+		t.Fatalf("burst workload: %v", err)
+	}
+	return map[string]struct {
+		reqs  []jobs.Request
+		build func() Scheduler
+	}{
+		"mixed_theorem1_m4": {
+			reqs:  mixed,
+			build: func() Scheduler { return New(WithMachines(4)) },
+		},
+		"mixed_deamortized_m4": {
+			reqs:  mixed,
+			build: func() Scheduler { return New(WithMachines(4), WithDeamortization()) },
+		},
+		"burst_theorem1_m4": {
+			reqs:  burst,
+			build: func() Scheduler { return New(WithMachines(4)) },
+		},
+		"burst_batch64_m4": {
+			reqs: burst,
+			build: func() Scheduler {
+				return New(WithMachines(4), WithBatchSize(64))
+			},
+		},
+	}
+}
+
+// renderReplay serves the stream and renders everything a string-API
+// caller can observe: per-request costs and error texts, then the final
+// assignment sorted by name.
+func renderReplay(s Scheduler, reqs []jobs.Request) string {
+	var b strings.Builder
+	if bs, ok := s.(interface{ BatchSize() int }); ok && bs.BatchSize() > 1 {
+		size := bs.BatchSize()
+		for off := 0; off < len(reqs); off += size {
+			end := off + size
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			chunk := reqs[off:end]
+			costs, err := ApplyBatch(s, chunk)
+			var be *BatchError
+			if err != nil {
+				be, _ = err.(*BatchError)
+			}
+			for i := range chunk {
+				var e error
+				if be != nil {
+					e = be.At(i)
+				}
+				renderStep(&b, off+i, costs[i], e)
+			}
+		}
+	} else {
+		for i, r := range reqs {
+			c, err := Apply(s, r)
+			renderStep(&b, i, c, err)
+		}
+	}
+	asn := s.Assignment()
+	names := make([]string, 0, len(asn))
+	for name := range asn {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("-- final assignment --\n")
+	for _, name := range names {
+		p := asn[name]
+		fmt.Fprintf(&b, "%s m%d t%d\n", name, p.Machine, p.Slot)
+	}
+	return b.String()
+}
+
+func renderStep(b *strings.Builder, i int, c Cost, err error) {
+	if err != nil {
+		fmt.Fprintf(b, "%d err %v\n", i, err)
+		return
+	}
+	fmt.Fprintf(b, "%d r%d m%d\n", i, c.Reallocations, c.Migrations)
+}
+
+func TestReplayGolden(t *testing.T) {
+	for name, tc := range replayCases(t) {
+		t.Run(name, func(t *testing.T) {
+			got := renderReplay(tc.build(), tc.reqs)
+			path := filepath.Join("testdata", "replay_"+name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("replay %s diverged from the pre-refactor golden (len got %d, want %d): first diff at byte %d",
+					name, len(got), len(want), firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
