@@ -13,6 +13,8 @@
 //	reallocbench -scenario elastic        # autoscaling: elastic resize vs rebuild, BENCH_PR2.json
 //	reallocbench -scenario burst -batch 64  # arrival/departure waves, batched vs
 //	                                        # per-request admission, BENCH_PR3.json
+//	reallocbench -scenario burst -wal       # WAL-on vs WAL-off durability tax,
+//	                                        # BENCH_PR5.json
 package main
 
 import (
@@ -124,6 +126,7 @@ func main() {
 		shardSet = flag.String("shards", "1,4,8", "comma-separated shard counts for the sharded runs")
 		drivers  = flag.Int("drivers", 8, "concurrent driver goroutines for the sharded runs")
 		batch    = flag.Int("batch", 0, "add batched (ApplyBatch) runs with this chunk size; 0 disables (burst defaults to 512)")
+		walOn    = flag.Bool("wal", false, "add WAL-enabled twins of the sharded runs (group-commit durability); with -scenario burst the default output becomes BENCH_PR5.json")
 		seed     = flag.Int64("seed", 1, "scenario seed")
 		out      = flag.String("out", "BENCH_PR1.json", "output JSON path")
 		compare  = flag.String("compare", "", "prior report JSON to compare against (adds a compare section)")
@@ -147,6 +150,9 @@ func main() {
 		}
 		if *out == "BENCH_PR1.json" {
 			*out = "BENCH_PR4.json"
+		}
+		if *walOn {
+			*out = strings.Replace(*out, "BENCH_PR4.json", "BENCH_PR5.json", 1)
 		}
 	}
 	if *scenario == "elastic" {
@@ -203,13 +209,23 @@ func main() {
 	}
 
 	for _, s := range shardCounts {
-		r := runSharded(reqs, *machines, s, *drivers)
+		r := runSharded(reqs, *machines, s, *drivers, "")
 		rep.Runs = append(rep.Runs, r)
 		printRun(r)
+		if *walOn {
+			w := runSharded(reqs, *machines, s, *drivers, walTempDir())
+			rep.Runs = append(rep.Runs, w)
+			printRun(w)
+		}
 		if *batch > 1 {
-			b := runShardedBatched(reqs, *machines, s, *drivers, *batch)
+			b := runShardedBatched(reqs, *machines, s, *drivers, *batch, "")
 			rep.Runs = append(rep.Runs, b)
 			printRun(b)
+			if *walOn {
+				w := runShardedBatched(reqs, *machines, s, *drivers, *batch, walTempDir())
+				rep.Runs = append(rep.Runs, w)
+				printRun(w)
+			}
 		}
 	}
 
@@ -247,6 +263,9 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	for _, dir := range walScratch {
+		os.RemoveAll(dir)
+	}
 }
 
 // compareReports loads a prior report and relates this run's numbers to
@@ -439,11 +458,36 @@ func filterFailed(chunk []jobs.Request, failed map[string]bool) []jobs.Request {
 	return out
 }
 
+// walTempDir allocates a scratch WAL directory for one durable run; it
+// is removed when the process exits normally.
+func walTempDir() string {
+	dir, err := os.MkdirTemp("", "reallocbench-wal-*")
+	if err != nil {
+		fail(err)
+	}
+	walScratch = append(walScratch, dir)
+	return dir
+}
+
+var walScratch []string
+
+// shardedOpts builds the sharded scheduler options of one run; a
+// non-empty walDir turns on group-commit durability.
+func shardedOpts(machines, shards int, walDir string) []realloc.Option {
+	opts := []realloc.Option{realloc.WithMachines(machines), realloc.WithShards(shards)}
+	if walDir != "" {
+		opts = append(opts, realloc.WithWAL(walDir))
+	}
+	return opts
+}
+
 // runShardedBatched replays the scenario against the sharded front-end
 // from `drivers` concurrent goroutines, each carving its name-
-// partitioned lane into chunks of `batch` served via ApplyBatch.
-func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int) Run {
-	s := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+// partitioned lane into chunks of `batch` served via ApplyBatch. A
+// non-empty walDir appends every batch to a write-ahead log before it
+// is acknowledged (the "-wal" twin runs).
+func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int, walDir string) Run {
+	s := realloc.NewSharded(shardedOpts(machines, shards, walDir)...)
 	defer s.Close()
 
 	lanes := make([][]jobs.Request, drivers)
@@ -500,7 +544,7 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 	rep := s.Report()
 	tot := rep.Total()
 	run := Run{
-		Name:          fmt.Sprintf("sharded-%d-batch%d", shards, batch),
+		Name:          walSuffix(fmt.Sprintf("sharded-%d-batch%d", shards, batch), walDir),
 		Shards:        shards,
 		Batch:         batch,
 		Drivers:       drivers,
@@ -522,11 +566,21 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 	return finishRun(run, wall, lat)
 }
 
+// walSuffix appends "-wal" to a run name when the run was durable.
+func walSuffix(name, walDir string) string {
+	if walDir != "" {
+		return name + "-wal"
+	}
+	return name
+}
+
 // runSharded replays the scenario against the sharded front-end from
 // `drivers` concurrent goroutines, partitioning requests by job name so
-// each job's insert/delete order is preserved within its lane.
-func runSharded(reqs []jobs.Request, machines, shards, drivers int) Run {
-	s := realloc.NewSharded(realloc.WithMachines(machines), realloc.WithShards(shards))
+// each job's insert/delete order is preserved within its lane. A
+// non-empty walDir appends every request to a write-ahead log before it
+// is acknowledged (the "-wal" twin runs).
+func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir string) Run {
+	s := realloc.NewSharded(shardedOpts(machines, shards, walDir)...)
 	defer s.Close()
 
 	lanes := make([][]jobs.Request, drivers)
@@ -571,7 +625,7 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int) Run {
 	rep := s.Report()
 	tot := rep.Total()
 	run := Run{
-		Name:          fmt.Sprintf("sharded-%d", shards),
+		Name:          walSuffix(fmt.Sprintf("sharded-%d", shards), walDir),
 		Shards:        shards,
 		Drivers:       drivers,
 		Served:        rep.Served(),

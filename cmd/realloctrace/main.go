@@ -1,6 +1,7 @@
 // Command realloctrace records, replays, and minimizes request traces
 // (JSON Lines, see internal/trace) against any of the repository's
-// schedulers.
+// schedulers, and converts binary WAL directories to the same JSONL
+// format.
 //
 // Usage:
 //
@@ -8,13 +9,22 @@
 //	realloctrace -mode record -in churn.jsonl > annotated.jsonl
 //	realloctrace -mode replay -in annotated.jsonl      # verify costs match
 //	realloctrace -mode shrink -in failing.jsonl        # minimize a reproducer
+//	realloctrace -mode waldump -wal ./waldir > log.jsonl  # WAL -> JSONL
 //
 // The -sched flag selects the scheduler: stack (default, the full
 // Theorem 1 composition), core, naive, or edf. -machines sets m where
 // supported.
+//
+// waldump reads a durability directory (realloc.WithWAL) without
+// modifying it: the checkpointed jobs are emitted as insert events (the
+// trace that rebuilds the image), then every log record follows in
+// append order — batches flattened, resizes and torn-tail diagnostics
+// as '#' comment lines, which the trace reader skips — so a binary WAL
+// becomes a replayable, diffable trace artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,13 +37,15 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stress"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "record", "gen | record | replay | shrink")
+		mode     = flag.String("mode", "record", "gen | record | replay | shrink | waldump")
 		in       = flag.String("in", "", "input trace file (default stdin)")
+		walDir   = flag.String("wal", "", "waldump: WAL directory (realloc.WithWAL)")
 		schedKnd = flag.String("sched", "stack", "scheduler: stack | core | naive | edf")
 		machines = flag.Int("machines", 1, "machine count (stack and edf)")
 		steps    = flag.Int("steps", 500, "gen: number of requests")
@@ -106,10 +118,63 @@ func main() {
 			fail(err)
 		}
 
+	case "waldump":
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "realloctrace: waldump needs -wal DIR")
+			os.Exit(2)
+		}
+		if err := dumpWAL(*walDir, os.Stdout); err != nil {
+			fail(err)
+		}
+
 	default:
 		fmt.Fprintf(os.Stderr, "realloctrace: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// dumpWAL converts a durability directory to the JSONL trace format.
+func dumpWAL(dir string, w io.Writer) error {
+	rec, err := wal.Read(dir)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if ck := rec.Checkpoint; ck != nil {
+		fmt.Fprintf(w, "# checkpoint: %d job(s) on %d machine(s) across %d shard(s) %v; log replays from segment %d\n",
+			len(ck.Jobs), ck.Machines(), len(ck.ShardMachines), ck.ShardMachines, ck.StartSeg)
+		for _, j := range ck.Jobs {
+			if err := enc.Encode(trace.FromRequest(realloc.InsertReq(j.Name, j.Window.Start, j.Window.End))); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w, "# end of checkpoint image; log tail follows")
+	}
+	for _, r := range rec.Records {
+		switch r.Kind {
+		case wal.KindRequest:
+			if err := enc.Encode(trace.FromRequest(r.Req)); err != nil {
+				return err
+			}
+		case wal.KindBatch:
+			fmt.Fprintf(w, "# batch of %d\n", len(r.Batch))
+			for _, req := range r.Batch {
+				if err := enc.Encode(trace.FromRequest(req)); err != nil {
+					return err
+				}
+			}
+		case wal.KindResize:
+			if r.Resize.Shard < 0 {
+				fmt.Fprintf(w, "# resize pool to %d machines\n", r.Resize.Machines)
+			} else {
+				fmt.Fprintf(w, "# resize shard %d by %+d machines\n", r.Resize.Shard, r.Resize.Delta)
+			}
+		}
+	}
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(w, "# torn tail: %d byte(s) of an interrupted group commit not replayable\n", rec.TruncatedBytes)
+	}
+	return nil
 }
 
 func input(path string) io.Reader {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/wal"
 )
 
 var _ sched.BatchScheduler = (*Scheduler)(nil)
@@ -144,7 +145,26 @@ func (s *Scheduler) ApplyBatch(reqs []jobs.Request) ([]metrics.Cost, error) {
 	var shed []string
 	s.fanOut(sc.groups, reqs, costs, errs, nil, &shed)
 	s.reconcile(sc, reqs, deferred, costs, errs, &shed)
-	return costs, sched.WithEvictions(sched.NewBatchError(errs), shed)
+	err := sched.WithEvictions(sched.NewBatchError(errs), shed)
+	if s.log != nil {
+		// Group-commit the whole batch as ONE record before it is
+		// acknowledged. The full original batch is logged (including
+		// failed requests — their trim-recovery rebuilds mutate inner
+		// state) so a replay through this same ApplyBatch path
+		// reproduces the routing, the sub-batches, and every side
+		// effect exactly.
+		if werr := s.log.Append(wal.BatchRecord(reqs)); werr != nil {
+			// Surface the broken durability promise without discarding
+			// the batch verdict: %w keeps the *BatchError reachable via
+			// errors.As for callers mapping failures to indices.
+			if err == nil {
+				err = fmt.Errorf("shard: batch applied but WAL append failed: %w", werr)
+			} else {
+				err = fmt.Errorf("shard: batch applied but WAL append failed (%v); batch result: %w", werr, err)
+			}
+		}
+	}
+	return costs, err
 }
 
 // routeBatch validates and routes every request, reserving insert names

@@ -41,6 +41,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/wal"
 )
 
 // ErrClosed reports a request sent to a closed scheduler.
@@ -110,6 +111,15 @@ type Config struct {
 	// panics). It does not change ApplyBatch itself, which serves
 	// whatever slice it is given.
 	BatchSize int
+	// WAL, when non-nil, makes the scheduler durable: every admission
+	// path (sync Apply, async Submit, bulk ApplyBatch) and every resize
+	// appends a record to the log BEFORE the request is acknowledged —
+	// the ack is deferred until the record's group commit completes, so
+	// an acknowledged request is always recoverable. Ownership of the
+	// log transfers to the scheduler: Close closes it. When nil (the
+	// default) the admission paths are untouched — no record types, no
+	// extra allocations, the PR 4 zero-alloc hot path is preserved.
+	WAL *wal.Log
 }
 
 // Scheduler is the sharded front-end. It implements sched.Scheduler and
@@ -166,6 +176,11 @@ type Scheduler struct {
 	errMu     sync.Mutex
 	asyncErrs []error
 	errCount  int
+
+	// log is the attached write-ahead log (nil = durability off). It is
+	// set at construction (Config.WAL) or once by AttachWAL before the
+	// scheduler is shared — never mutated concurrently with requests.
+	log *wal.Log
 }
 
 var _ sched.Scheduler = (*Scheduler)(nil)
@@ -217,11 +232,25 @@ func New(cfg Config) *Scheduler {
 	if cfg.Shards < 1 || cfg.Machines < cfg.Shards {
 		panic(fmt.Sprintf("shard: %d shards over %d machines", cfg.Shards, cfg.Machines))
 	}
+	perShard := make([]int, cfg.Shards)
+	for i := range perShard {
+		perShard[i] = cfg.Machines / cfg.Shards
+		if i < cfg.Machines%cfg.Shards {
+			perShard[i]++ // spread the remainder over the earliest shards
+		}
+	}
+	return newScheduler(cfg, perShard)
+}
+
+// newScheduler builds the front-end over an explicit per-shard machine
+// partition. It is New's execution half, shared with Restore (which
+// resurrects a checkpointed partition instead of splitting evenly).
+func newScheduler(cfg Config, perShard []int) *Scheduler {
 	if cfg.Factory == nil {
 		panic("shard: nil Factory")
 	}
 	if cfg.Policy == nil {
-		cfg.Policy = NewRing(cfg.Shards, DefaultReplicas)
+		cfg.Policy = NewRing(len(perShard), DefaultReplicas)
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = defaultBuffer
@@ -233,20 +262,17 @@ func New(cfg Config) *Scheduler {
 		cfg.BatchSize = 1
 	}
 	s := &Scheduler{
-		workers:   make([]*worker, cfg.Shards),
+		workers:   make([]*worker, len(perShard)),
 		policy:    cfg.Policy,
 		batchSize: cfg.BatchSize,
 		names:     ident.New(),
-		loads:     make([]int, cfg.Shards),
-		inflight:  make([]int, cfg.Shards),
+		loads:     make([]int, len(perShard)),
+		inflight:  make([]int, len(perShard)),
+		log:       cfg.WAL,
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
 	base := 0
-	for i := range s.workers {
-		m := cfg.Machines / cfg.Shards
-		if i < cfg.Machines%cfg.Shards {
-			m++ // spread the remainder over the earliest shards
-		}
+	for i, m := range perShard {
 		w := &worker{
 			idx:   i,
 			base:  base,
@@ -544,6 +570,9 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 		// send itself re-checks under the lock.)
 		return ErrClosed
 	}
+	if s.log != nil {
+		finish = s.durableFinish(r, finish)
+	}
 	switch r.Kind {
 	case jobs.Insert:
 		return s.dispatchInsert(r, finish)
@@ -551,6 +580,40 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 		return s.dispatchDelete(r, finish)
 	default:
 		return fmt.Errorf("shard: unknown request kind %d", r.Kind)
+	}
+}
+
+// durableFinish interposes the WAL between a request's execution and
+// its acknowledgement: once the worker settles the outcome, the record
+// is handed to the group-commit flusher and the original finish runs
+// only after the group is written — so a caller that sees its ack can
+// always recover the request. The request is logged whatever its
+// outcome: a failed insert can still mutate inner state (trim recovery
+// rebuilds), and replaying the failure reproduces that state exactly.
+// Requests rejected before reaching a worker (validation, duplicate or
+// unknown name at routing) never execute, mutate nothing, and are not
+// logged — dispatch returns before the wrapper is involved.
+//
+// Log order vs execution order: a record is enqueued on the worker
+// goroutine that settled its request, after the routing-table commit,
+// so two requests on the SAME shard always log in execution order.
+// Requests for the same name on DIFFERENT shards (a delete on the
+// job's overflow shard racing a re-insert on its primary) could log
+// out of execution order — but only if the caller issues same-name
+// requests concurrently, which the front-end's request contract
+// already forbids (see Submit): issue the re-insert after the delete's
+// ack and the delete's record is durable first, because acks happen
+// after the append.
+func (s *Scheduler) durableFinish(r jobs.Request, finish func(metrics.Cost, error)) func(metrics.Cost, error) {
+	return func(c metrics.Cost, err error) {
+		s.log.Enqueue(wal.RequestRecord(r), func(werr error) {
+			if werr != nil && err == nil {
+				// The request is applied but not durable: surface the
+				// broken promise instead of acking cleanly.
+				err = fmt.Errorf("shard: request applied but WAL append failed: %w", werr)
+			}
+			finish(c, err)
+		})
 	}
 }
 
@@ -795,6 +858,9 @@ type Snapshot struct {
 	Jobs       []jobs.Job
 	Assignment jobs.Assignment
 	Machines   int
+	// ShardMachines is each shard's machine count, in shard order (the
+	// machine-range partition a checkpoint must preserve).
+	ShardMachines []int
 }
 
 // Snapshot captures jobs + assignment + pool size in one control pass.
@@ -809,9 +875,14 @@ func (s *Scheduler) Snapshot() Snapshot {
 	_ = s.each(func(i int, inner sched.Scheduler, _ *metrics.ShardCost) {
 		parts[i] = part{js: inner.Jobs(), asn: inner.Assignment()}
 	})
-	snap := Snapshot{Machines: s.machinesLocked(), Assignment: make(jobs.Assignment)}
+	snap := Snapshot{
+		Machines:      s.machinesLocked(),
+		Assignment:    make(jobs.Assignment),
+		ShardMachines: make([]int, len(s.workers)),
+	}
 	for i, p := range parts {
 		base := s.workers[i].base
+		snap.ShardMachines[i] = int(s.workers[i].machines.Load())
 		snap.Jobs = append(snap.Jobs, p.js...)
 		for name, pl := range p.asn {
 			snap.Assignment[name] = jobs.Placement{Machine: base + pl.Machine, Slot: pl.Slot}
@@ -875,6 +946,16 @@ func (s *Scheduler) Resize(machines int) (metrics.ResizeCost, error) {
 	}
 	s.rangeMu.RUnlock()
 
+	// WRITE-AHEAD: the record is durable before any shard changes size.
+	// Requests that are admitted thanks to the new capacity ack (and
+	// log) only after they execute, i.e. after this append, so a
+	// recovered log always replays the resize before them. (The reverse
+	// order would let an acked insert replay against the old pool and
+	// vanish.) If the record cannot be made durable the resize does not
+	// run at all.
+	if err := s.logResize(wal.ResizeRecord(-1, 0, machines)); err != nil {
+		return total, err
+	}
 	var firstErr error
 	for _, shrink := range []bool{false, true} {
 		for i, d := range deltas {
@@ -891,6 +972,19 @@ func (s *Scheduler) Resize(machines int) (metrics.ResizeCost, error) {
 	return total, firstErr
 }
 
+// logResize appends a resize record write-ahead and waits for its group
+// commit (a no-op without an attached WAL). Requires resizeMu held, so
+// the log order of resize records matches their execution order.
+func (s *Scheduler) logResize(rec wal.Record) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Append(rec); err != nil {
+		return fmt.Errorf("shard: resize not applied, WAL append failed: %w", err)
+	}
+	return nil
+}
+
 // ResizeShard grows (delta > 0) or shrinks (delta < 0) shard i's
 // machine range by delta machines. Growing never moves a job. Shrinking
 // drains the shard's last machines: their jobs are re-placed inside the
@@ -901,6 +995,10 @@ func (s *Scheduler) Resize(machines int) (metrics.ResizeCost, error) {
 func (s *Scheduler) ResizeShard(i, delta int) (metrics.ResizeCost, error) {
 	s.resizeMu.Lock()
 	defer s.resizeMu.Unlock()
+	// Write-ahead, like Resize: durable before any machine moves.
+	if err := s.logResize(wal.ResizeRecord(i, delta, 0)); err != nil {
+		return metrics.ResizeCost{Shard: i, Delta: delta}, err
+	}
 	return s.resizeShardLocked(i, delta)
 }
 
@@ -1187,9 +1285,57 @@ func (s *Scheduler) SelfCheck() error {
 	return nil
 }
 
+// AttachWAL binds a write-ahead log to the scheduler so every later
+// admission appends before acking (see Config.WAL, which is the same
+// wiring at construction time). It exists for the recovery path: the
+// replay of a recovered log must run with logging off — replaying a
+// record must not re-append it — and the log is attached once the tail
+// is applied. Attach before the scheduler is shared with other
+// goroutines; ownership of the log transfers (Close closes it).
+func (s *Scheduler) AttachWAL(l *wal.Log) {
+	s.log = l
+}
+
+// Checkpoint atomically captures a point-in-time image of the scheduler
+// (jobs, placements, machine-range partition) and installs it as the
+// WAL directory's checkpoint, bounding recovery to "restore the image,
+// replay the tail". The sequence is rotate-then-snapshot: the log first
+// rotates to a fresh segment, then the snapshot is taken, so the image
+// covers every record of the pruned segments. Requests racing the
+// snapshot may land in both the image and the new segment; recovery
+// replay tolerates the resulting duplicate-insert/unknown-delete
+// rejections, which is why the overlap is harmless. Checkpoint
+// serializes against resizes (a half-resized partition never reaches a
+// checkpoint) and requires an attached WAL.
+func (s *Scheduler) Checkpoint() error {
+	if s.log == nil {
+		return errors.New("shard: Checkpoint requires a WAL (realloc.WithWAL)")
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	seg, err := s.log.Rotate()
+	if err != nil {
+		return fmt.Errorf("shard: checkpoint rotation: %w", err)
+	}
+	snap := s.Snapshot()
+	if err := s.log.WriteCheckpoint(wal.Checkpoint{
+		StartSeg:      seg,
+		ShardMachines: snap.ShardMachines,
+		Jobs:          snap.Jobs,
+		Assignment:    snap.Assignment,
+	}); err != nil {
+		return fmt.Errorf("shard: checkpoint write: %w", err)
+	}
+	return nil
+}
+
 // Close drains outstanding asynchronous requests, stops every shard
-// worker, and releases the request channels. Requests after Close fail
-// with ErrClosed. Close is idempotent.
+// worker, closes the attached WAL (if any), and releases the request
+// channels. Requests after Close fail with ErrClosed. Close is
+// idempotent.
 func (s *Scheduler) Close() {
 	s.pendWait()
 	s.sendMu.Lock()
@@ -1204,5 +1350,10 @@ func (s *Scheduler) Close() {
 	s.sendMu.Unlock()
 	for _, w := range s.workers {
 		<-w.done
+	}
+	if s.log != nil {
+		// Workers are drained: every record they enqueued is in the
+		// flusher's queue, and closing the log flushes it.
+		_ = s.log.Close()
 	}
 }

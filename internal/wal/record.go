@@ -1,0 +1,296 @@
+// Package wal implements the durability subsystem of the sharded
+// front-end: a length-prefixed, CRC-framed binary write-ahead log of
+// admitted requests plus a versioned checkpoint codec for the
+// front-end's point-in-time snapshots.
+//
+// # Log format
+//
+// A log directory holds numbered segment files ("00000001.wal",
+// "00000002.wal", ...) and at most one "checkpoint" file. Every segment
+// starts with a 16-byte header (magic, format version, segment number)
+// followed by a sequence of framed records:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// The payload's first byte is the record kind — a single request, a
+// request batch (one ApplyBatch call, group-committed as one frame), or
+// a machine-pool resize — followed by the kind-specific body. All
+// integers are little-endian; variable-length fields use Go's varint
+// encodings.
+//
+// Recovery scans each segment's frames in order. The first frame that
+// does not check out — short header, length past the end of the file,
+// CRC mismatch, undecodable payload — marks a torn tail: everything
+// before it is replayed, everything from it on is discarded, and Open
+// truncates the file at that boundary so the log is clean for new
+// appends. A torn tail is tolerated only in the final segment; an
+// invalid frame in an earlier segment is reported as corruption.
+//
+// # Checkpoints
+//
+// A checkpoint is written atomically (temp file + rename) and names the
+// segment at which replay resumes: recovery loads the checkpoint's job
+// set and placements, then replays only segments >= Checkpoint.StartSeg.
+// Segments below the start are pruned once the checkpoint is durable.
+//
+// # Group commit
+//
+// Appends are funneled through one flusher goroutine: records enqueued
+// while a write is in flight coalesce into the next write, so N
+// concurrent appenders cost one write (and, with Options.Fsync, one
+// fsync) per group rather than one per record. Completion callbacks run
+// only after the group is written, which is how the sharded front-end
+// defers request acknowledgements until durability.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/jobs"
+)
+
+// Kind identifies a record's payload type.
+type Kind uint8
+
+const (
+	// KindRequest is a single admitted insert/delete request.
+	KindRequest Kind = 1
+	// KindBatch is one ApplyBatch call: its requests in batch order.
+	KindBatch Kind = 2
+	// KindResize is a machine-pool resize (whole pool or one shard).
+	KindResize Kind = 3
+)
+
+// Record is one log entry. Exactly one of the kind-specific fields is
+// meaningful, selected by Kind.
+type Record struct {
+	Kind   Kind
+	Req    jobs.Request   // KindRequest
+	Batch  []jobs.Request // KindBatch
+	Resize ResizeSpec     // KindResize
+}
+
+// ResizeSpec mirrors the front-end's resize request: Shard >= 0 resizes
+// one shard by Delta machines; Shard == -1 re-partitions the whole pool
+// to Machines.
+type ResizeSpec struct {
+	Shard    int
+	Delta    int
+	Machines int
+}
+
+// RequestRecord frames one request.
+func RequestRecord(r jobs.Request) Record { return Record{Kind: KindRequest, Req: r} }
+
+// BatchRecord frames one ApplyBatch call. The slice is not retained
+// past the append that encodes it.
+func BatchRecord(reqs []jobs.Request) Record { return Record{Kind: KindBatch, Batch: reqs} }
+
+// ResizeRecord frames a pool resize.
+func ResizeRecord(shard, delta, machines int) Record {
+	return Record{Kind: KindResize, Resize: ResizeSpec{Shard: shard, Delta: delta, Machines: machines}}
+}
+
+// Requests returns how many individual requests the record carries.
+func (r Record) Requests() int {
+	switch r.Kind {
+	case KindRequest:
+		return 1
+	case KindBatch:
+		return len(r.Batch)
+	default:
+		return 0
+	}
+}
+
+// Frame and payload limits. Limits exist so a corrupt length or count
+// field is rejected before it can drive a huge allocation.
+const (
+	frameHeaderLen = 8       // u32 length + u32 CRC
+	maxRecordLen   = 1 << 26 // 64 MiB per framed payload
+	maxNameLen     = 1 << 20 // per job name
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRequest encodes one request: kind byte, name, and (for inserts)
+// the window bounds as signed varints.
+func appendRequest(b []byte, r jobs.Request) []byte {
+	b = append(b, byte(r.Kind))
+	b = binary.AppendUvarint(b, uint64(len(r.Name)))
+	b = append(b, r.Name...)
+	if r.Kind == jobs.Insert {
+		b = binary.AppendVarint(b, r.Window.Start)
+		b = binary.AppendVarint(b, r.Window.End)
+	}
+	return b
+}
+
+// decodeRequest is the inverse of appendRequest, returning the request
+// and the number of bytes consumed.
+func decodeRequest(p []byte) (jobs.Request, int, error) {
+	if len(p) < 1 {
+		return jobs.Request{}, 0, fmt.Errorf("wal: truncated request")
+	}
+	kind := jobs.RequestKind(p[0])
+	if kind != jobs.Insert && kind != jobs.Delete {
+		return jobs.Request{}, 0, fmt.Errorf("wal: unknown request kind %d", p[0])
+	}
+	off := 1
+	n, w := binary.Uvarint(p[off:])
+	if w <= 0 || n > maxNameLen || uint64(len(p)-off-w) < n {
+		return jobs.Request{}, 0, fmt.Errorf("wal: bad request name length")
+	}
+	off += w
+	name := string(p[off : off+int(n)])
+	off += int(n)
+	r := jobs.Request{Kind: kind, Name: name}
+	if kind == jobs.Insert {
+		start, w1 := binary.Varint(p[off:])
+		if w1 <= 0 {
+			return jobs.Request{}, 0, fmt.Errorf("wal: bad window start")
+		}
+		off += w1
+		end, w2 := binary.Varint(p[off:])
+		if w2 <= 0 {
+			return jobs.Request{}, 0, fmt.Errorf("wal: bad window end")
+		}
+		off += w2
+		r.Window = jobs.Window{Start: start, End: end}
+	}
+	return r, off, nil
+}
+
+// appendPayload encodes a record's payload (kind byte + body).
+func appendPayload(b []byte, rec Record) ([]byte, error) {
+	switch rec.Kind {
+	case KindRequest:
+		b = append(b, byte(KindRequest))
+		b = appendRequest(b, rec.Req)
+	case KindBatch:
+		b = append(b, byte(KindBatch))
+		b = binary.AppendUvarint(b, uint64(len(rec.Batch)))
+		for _, r := range rec.Batch {
+			b = appendRequest(b, r)
+		}
+	case KindResize:
+		b = append(b, byte(KindResize))
+		b = binary.AppendVarint(b, int64(rec.Resize.Shard))
+		b = binary.AppendVarint(b, int64(rec.Resize.Delta))
+		b = binary.AppendVarint(b, int64(rec.Resize.Machines))
+	default:
+		return b, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return b, nil
+}
+
+// DecodePayload decodes one record payload. It is strict: the payload
+// must be consumed exactly, so a frame with trailing garbage is invalid.
+// It never panics on arbitrary input.
+func DecodePayload(p []byte) (Record, error) {
+	if len(p) < 1 {
+		return Record{}, fmt.Errorf("wal: empty payload")
+	}
+	kind := Kind(p[0])
+	body := p[1:]
+	var rec Record
+	rec.Kind = kind
+	switch kind {
+	case KindRequest:
+		r, n, err := decodeRequest(body)
+		if err != nil {
+			return Record{}, err
+		}
+		if n != len(body) {
+			return Record{}, fmt.Errorf("wal: %d trailing byte(s) after request", len(body)-n)
+		}
+		rec.Req = r
+	case KindBatch:
+		count, w := binary.Uvarint(body)
+		if w <= 0 || count > uint64(len(body)) {
+			return Record{}, fmt.Errorf("wal: bad batch count")
+		}
+		off := w
+		if count > 0 {
+			rec.Batch = make([]jobs.Request, 0, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			r, n, err := decodeRequest(body[off:])
+			if err != nil {
+				return Record{}, fmt.Errorf("wal: batch request %d: %w", i, err)
+			}
+			off += n
+			rec.Batch = append(rec.Batch, r)
+		}
+		if off != len(body) {
+			return Record{}, fmt.Errorf("wal: %d trailing byte(s) after batch", len(body)-off)
+		}
+	case KindResize:
+		off := 0
+		vals := [3]int64{}
+		for i := range vals {
+			v, w := binary.Varint(body[off:])
+			if w <= 0 {
+				return Record{}, fmt.Errorf("wal: bad resize field %d", i)
+			}
+			vals[i] = v
+			off += w
+		}
+		if off != len(body) {
+			return Record{}, fmt.Errorf("wal: %d trailing byte(s) after resize", len(body)-off)
+		}
+		rec.Resize = ResizeSpec{Shard: int(vals[0]), Delta: int(vals[1]), Machines: int(vals[2])}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", p[0])
+	}
+	return rec, nil
+}
+
+// AppendFrame appends the framed encoding of rec to dst.
+func AppendFrame(dst []byte, rec Record) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst, err := appendPayload(dst, rec)
+	if err != nil {
+		return dst[:start], err
+	}
+	payload := dst[start+frameHeaderLen:]
+	if len(payload) > maxRecordLen {
+		return dst[:start], fmt.Errorf("wal: record payload %d bytes exceeds the %d cap", len(payload), maxRecordLen)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// ScanRecords walks the framed records in data, stopping at the first
+// frame that fails any check (short header, length out of bounds, CRC
+// mismatch, undecodable payload). It returns the decoded records and
+// the byte offset of the first invalid frame — the clean-truncation
+// point. valid == len(data) means every byte checked out. ScanRecords
+// never panics on arbitrary input.
+func ScanRecords(data []byte) (recs []Record, valid int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderLen {
+			return recs, off
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecordLen || uint64(len(data)-off-frameHeaderLen) < uint64(n) {
+			return recs, off
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		rec, err := DecodePayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int(n)
+	}
+}

@@ -37,9 +37,17 @@
 //	_ = s.Submit(realloc.InsertReq("batch-2", 0, 64)) // async path
 //	err = s.Drain()
 //	report := s.Report() // per-shard cost breakdown
+//
+// Sharded schedulers can be made durable: WithWAL(dir) appends every
+// admission to a write-ahead log before acknowledging it, Checkpoint
+// writes an atomic point-in-time image that bounds recovery to "load
+// snapshot + replay tail", and OpenRecovered rebuilds a crashed
+// scheduler from the directory. See the README's "Durability &
+// recovery" section for the guarantees.
 package realloc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/alignsched"
@@ -53,6 +61,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/shard"
 	"repro/internal/trim"
+	"repro/internal/wal"
 )
 
 // Re-exported model types. See the internal/jobs package for details.
@@ -125,6 +134,8 @@ type Options struct {
 	policy     shard.Policy
 	buffer     int
 	batchSize  int
+	walDir     string
+	walFsync   bool
 }
 
 // Option customizes the scheduler stack built by New.
@@ -166,6 +177,31 @@ func WithShardBuffer(n int) Option { return func(o *Options) { o.buffer = n } }
 // ApplyBatch instead of one request at a time — see ApplyBatch for the
 // bulk semantics. Negative sizes panic.
 func WithBatchSize(n int) Option { return func(o *Options) { o.batchSize = n } }
+
+// WithWAL makes NewSharded durable: dir receives a write-ahead log (a
+// CRC-framed binary log of every admitted request) and, on demand, the
+// point-in-time checkpoints written by Sharded.Checkpoint. Every
+// admission path — sync Apply, async Submit, and bulk ApplyBatch — and
+// every resize appends its record BEFORE acknowledging, with group
+// commit coalescing concurrent appends into one write. A crashed
+// process recovers with OpenRecovered, which bounds recovery to "load
+// the latest checkpoint, replay the log tail".
+//
+// The directory must be fresh (or hold nothing but an empty log):
+// NewSharded refuses — by panic, like its other construction errors —
+// to overwrite existing durable state; recovering it is what
+// OpenRecovered is for. New ignores this option.
+//
+// Durability level: by default acknowledgements wait for the group
+// commit's write into the log file, which survives a process crash;
+// the file reaches disk on the OS's schedule plus explicit syncs at
+// checkpoint, rotation, and Close. Add WithWALFsync to fsync every
+// group commit and survive power loss, at a large latency cost.
+func WithWAL(dir string) Option { return func(o *Options) { o.walDir = dir } }
+
+// WithWALFsync upgrades WithWAL's durability to fsync-per-group-commit
+// (power-loss durable). It has no effect without WithWAL.
+func WithWALFsync() Option { return func(o *Options) { o.walFsync = true } }
 
 // WithDeamortization replaces the amortized n*-rebuild with the paper's
 // even/odd-slot incremental rebuild: worst-case O(1) inner operations
@@ -233,6 +269,154 @@ func (b batchSized) TakeBatchEvictions() []string {
 // shard owns at least one machine.
 func NewSharded(opts ...Option) *Sharded {
 	o := defaultOptions(opts)
+	o.shardedDefaults()
+	var log *wal.Log
+	if o.walDir != "" {
+		l, recovered, err := wal.Open(o.walDir, wal.Options{Fsync: o.walFsync})
+		if err != nil {
+			panic(fmt.Sprintf("realloc: WithWAL(%q): %v", o.walDir, err))
+		}
+		if !recovered.Empty {
+			l.Close()
+			panic(fmt.Sprintf("realloc: WithWAL(%q): directory holds an existing log or checkpoint; recover it with OpenRecovered", o.walDir))
+		}
+		log = l
+	}
+	return shard.New(shard.Config{
+		Shards:    o.shards,
+		Machines:  o.machines,
+		Policy:    o.policy,
+		Buffer:    o.buffer,
+		BatchSize: o.batchSize,
+		WAL:       log,
+		// Always build the multi-machine wrapper (even for one machine)
+		// so every shard implements sched.Elastic and can be resized.
+		Factory: func(machines int) sched.Scheduler { return buildElasticStack(o, machines) },
+	})
+}
+
+// Recovery reports what OpenRecovered found and replayed.
+type Recovery struct {
+	// CheckpointLoaded reports whether a checkpoint image seeded the
+	// scheduler (false: the whole log was replayed from genesis).
+	CheckpointLoaded bool
+	// CheckpointJobs is the number of jobs restored from the checkpoint.
+	CheckpointJobs int
+	// RecordsReplayed counts the WAL records replayed after the
+	// checkpoint (a batch is one record).
+	RecordsReplayed int
+	// RequestsReplayed counts the individual requests those records
+	// carried (batch members counted one by one).
+	RequestsReplayed int
+	// ResizesReplayed counts replayed pool-resize records.
+	ResizesReplayed int
+	// ReplayFailures counts requests that failed during replay. On a
+	// log written by a sequential caller this is zero; after a
+	// checkpoint raced in-flight requests, the benign duplicate-insert
+	// and unknown-delete rejections of the overlap are counted here.
+	ReplayFailures int
+	// TruncatedBytes is the size of the torn tail (an interrupted group
+	// commit) cleanly truncated from the log.
+	TruncatedBytes int64
+}
+
+// OpenRecovered rebuilds a durable sharded scheduler from dir: it loads
+// the checkpoint (when one exists), restores its image through the
+// shard.Restore path — every layer rebuilt from the snapshot in
+// O(jobs), no history replay — then replays the post-checkpoint log
+// tail through the normal admission paths, truncating any torn tail
+// left by a crash mid-group-commit. The returned scheduler has the WAL
+// re-attached and continues appending where the log left off.
+//
+// Pass the same Options the crashed process used: with a checkpoint the
+// shard count and machine partition come from the image (mismatched
+// explicit options are an error); without one they come from the
+// options, and the routing policy must match for the replay to
+// reproduce the original placement decisions.
+func OpenRecovered(dir string, opts ...Option) (*Sharded, *Recovery, error) {
+	o := defaultOptions(opts)
+	if o.shards < 0 {
+		panic(fmt.Sprintf("realloc: WithShards(%d)", o.shards))
+	}
+	log, recovered, err := wal.Open(dir, wal.Options{Fsync: o.walFsync})
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Recovery{TruncatedBytes: recovered.TruncatedBytes}
+	factory := func(machines int) sched.Scheduler { return buildElasticStack(o, machines) }
+	var s *Sharded
+	if ck := recovered.Checkpoint; ck != nil {
+		// The checkpoint owns the shard count and machine partition;
+		// explicit conflicting options surface as Restore errors.
+		cfg := shard.Config{
+			Policy:    o.policy,
+			Buffer:    o.buffer,
+			BatchSize: o.batchSize,
+			Factory:   factory,
+		}
+		s, err = shard.Restore(cfg, ck)
+		if err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+		info.CheckpointLoaded = true
+		info.CheckpointJobs = len(ck.Jobs)
+	} else {
+		o.shardedDefaults()
+		s = shard.New(shard.Config{
+			Shards:    o.shards,
+			Machines:  o.machines,
+			Policy:    o.policy,
+			Buffer:    o.buffer,
+			BatchSize: o.batchSize,
+			Factory:   factory,
+		})
+	}
+
+	// Replay the tail through the normal admission paths (logging is
+	// off until the WAL is attached, so nothing is re-appended). Request
+	// failures do not abort the replay: a failed request in the original
+	// run mutated state the same way the failed replay does.
+	for _, rec := range recovered.Records {
+		info.RecordsReplayed++
+		switch rec.Kind {
+		case wal.KindRequest:
+			info.RequestsReplayed++
+			if _, err := s.Apply(rec.Req); err != nil {
+				info.ReplayFailures++
+			}
+		case wal.KindBatch:
+			info.RequestsReplayed += len(rec.Batch)
+			if _, err := s.ApplyBatch(rec.Batch); err != nil {
+				var be *BatchError
+				if errors.As(err, &be) {
+					info.ReplayFailures += be.Failed
+				} else {
+					info.ReplayFailures++
+				}
+			}
+		case wal.KindResize:
+			info.ResizesReplayed++
+			if rec.Resize.Shard < 0 {
+				_, err = s.Resize(rec.Resize.Machines)
+			} else {
+				_, err = s.ResizeShard(rec.Resize.Shard, rec.Resize.Delta)
+			}
+			if err != nil {
+				info.ReplayFailures++
+			}
+		}
+	}
+	s.AttachWAL(log)
+	return s, info, nil
+}
+
+// shardedDefaults applies NewSharded's topology defaulting: 4 shards
+// when unset, panic on negative counts, and a pool grown so every
+// shard owns at least one machine. OpenRecovered's checkpoint-less
+// path MUST share this: replay reproduces the original placements only
+// if it rebuilds the exact topology NewSharded chose.
+func (o *Options) shardedDefaults() {
 	if o.shards == 0 {
 		o.shards = 4
 	}
@@ -244,16 +428,6 @@ func NewSharded(opts ...Option) *Sharded {
 		// than silently dropping shards.
 		o.machines = o.shards
 	}
-	return shard.New(shard.Config{
-		Shards:    o.shards,
-		Machines:  o.machines,
-		Policy:    o.policy,
-		Buffer:    o.buffer,
-		BatchSize: o.batchSize,
-		// Always build the multi-machine wrapper (even for one machine)
-		// so every shard implements sched.Elastic and can be resized.
-		Factory: func(machines int) sched.Scheduler { return buildElasticStack(o, machines) },
-	})
 }
 
 func defaultOptions(opts []Option) Options {
