@@ -4,7 +4,8 @@
 //
 // The sanctioned layering, bottom-up:
 //
-//	mathx, metrics, ident — stdlib only
+//	mathx, hdr, ident     — stdlib only
+//	metrics               — the cost/latency currencies; stdlib + hdr
 //	jobs                  — the shared model; stdlib + mathx
 //	align                 — pure window geometry; jobs + mathx
 //	sched                 — the interface layer; jobs + metrics
@@ -34,7 +35,8 @@ import (
 // violation.
 var archAllow = map[string][]string{
 	"internal/mathx":   {},
-	"internal/metrics": {},
+	"internal/hdr":     {},
+	"internal/metrics": {"repro/internal/hdr"},
 	"internal/ident":   {},
 	"internal/jobs":    {"repro/internal/mathx"},
 	"internal/align":   {"repro/internal/jobs", "repro/internal/mathx"},

@@ -15,6 +15,14 @@
 //	                                        # per-request admission, BENCH_PR3.json
 //	reallocbench -scenario burst -wal       # WAL-on vs WAL-off durability tax,
 //	                                        # BENCH_PR5.json
+//	reallocbench -scaling                   # GOMAXPROCS x shard-count scaling
+//	                                        # study with open-loop arrival-rate
+//	                                        # latency curves, BENCH_PR6.json
+//
+// Request latencies are recorded into allocation-free HDR histograms
+// (internal/hdr), not retained sample slices, so quick and full runs
+// report identical quantile semantics and the benchmark driver itself
+// stays off the GC profile it measures.
 package main
 
 import (
@@ -25,7 +33,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -33,7 +40,9 @@ import (
 	"time"
 
 	realloc "repro"
+	"repro/internal/hdr"
 	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -63,7 +72,10 @@ type Run struct {
 	AllocsPerOp   float64      `json:"allocs_per_op"`
 	BytesPerOp    float64      `json:"bytes_per_op"`
 	P50LatencyUS  float64      `json:"p50_latency_us"`
+	P90LatencyUS  float64      `json:"p90_latency_us"`
 	P99LatencyUS  float64      `json:"p99_latency_us"`
+	P999LatencyUS float64      `json:"p999_latency_us"`
+	MaxLatencyUS  float64      `json:"max_latency_us"`
 	Reallocations int          `json:"reallocations"`
 	Migrations    int          `json:"migrations"`
 	Overflow      int          `json:"overflow,omitempty"`
@@ -104,18 +116,23 @@ func (s *allocSampler) finish(r *Run, wall time.Duration, ops int) {
 	}
 }
 
-// ShardStats is the per-shard slice of a sharded run.
+// ShardStats is the per-shard slice of a sharded run. The latency
+// columns come from the shard worker's own dispatch-boundary HDR
+// histogram (enqueue to served), not the client-side clock.
 type ShardStats struct {
-	Shard         int `json:"shard"`
-	Machines      int `json:"machines"`
-	Requests      int `json:"requests"`
-	Failures      int `json:"failures"`
-	Rerouted      int `json:"rerouted"`
-	Overflow      int `json:"overflow"`
-	Batches       int `json:"batches"`
-	Active        int `json:"active"`
-	Reallocations int `json:"reallocations"`
-	Migrations    int `json:"migrations"`
+	Shard         int     `json:"shard"`
+	Machines      int     `json:"machines"`
+	Requests      int     `json:"requests"`
+	Failures      int     `json:"failures"`
+	Rerouted      int     `json:"rerouted"`
+	Overflow      int     `json:"overflow"`
+	Batches       int     `json:"batches"`
+	Active        int     `json:"active"`
+	Reallocations int     `json:"reallocations"`
+	Migrations    int     `json:"migrations"`
+	P50DispatchUS float64 `json:"p50_dispatch_us,omitempty"`
+	P99DispatchUS float64 `json:"p99_dispatch_us,omitempty"`
+	MaxDispatchUS float64 `json:"max_dispatch_us,omitempty"`
 }
 
 func main() {
@@ -133,11 +150,27 @@ func main() {
 		quick    = flag.Bool("quick", false, "small parameters for smoke runs")
 		memprof  = flag.String("memprofile", "", "write an allocation profile of the runs to this file")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+		scaling  = flag.Bool("scaling", false, "run the GOMAXPROCS x shard-count scaling study (closed-loop + open-loop arrival-rate curves); default output BENCH_PR6.json")
+		procsSet = flag.String("procs", "", "comma-separated GOMAXPROCS ladder for -scaling (default: powers of two up to NumCPU)")
+		ratesSet = flag.String("rates", "0.5,0.75,0.9", "open-loop arrival rates for -scaling, as fractions of the measured closed-loop throughput")
+		baseline = flag.String("baseline", "", "prior burst report to embed as the dispatch baseline twin in the -scaling output")
+		twinReps = flag.Int("twinreps", 3, "repetitions per dispatch-twin config in -scaling; the median-p99 run is reported")
 	)
 	flag.Parse()
 
 	if *quick {
 		*requests = 2000
+	}
+	if *scaling {
+		if *out == "BENCH_PR1.json" {
+			*out = "BENCH_PR6.json"
+		}
+		runScalingStudy(scalingConfig{
+			seed: *seed, machines: *machines, requests: *requests,
+			drivers: *drivers, twinReps: *twinReps, shardSet: *shardSet,
+			procsSet: *procsSet, ratesSet: *ratesSet, baseline: *baseline, out: *out,
+		})
+		return
 	}
 	if *scenario == "burst" {
 		// The burst scenario exists to compare batched vs per-request
@@ -195,8 +228,9 @@ func main() {
 	rep := Report{Scenario: *scenario, Machines: *machines, Requests: len(reqs), Drivers: *drivers}
 
 	printRun := func(r Run) {
-		fmt.Printf("%-20s  %10.0f req/s  %8.0f ns/op  %6.1f allocs/op  p50 %7.1fus  p99 %7.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
-			r.Name, r.ThroughputRPS, r.NsPerOp, r.AllocsPerOp, r.P50LatencyUS, r.P99LatencyUS,
+		fmt.Printf("%-20s  %10.0f req/s  %8.0f ns/op  %6.1f allocs/op  p50 %7.1fus  p90 %7.1fus  p99 %7.1fus  p99.9 %8.1fus  max %8.1fus  realloc %d  migr %d  fail %d  overflow %d\n",
+			r.Name, r.ThroughputRPS, r.NsPerOp, r.AllocsPerOp, r.P50LatencyUS, r.P90LatencyUS,
+			r.P99LatencyUS, r.P999LatencyUS, r.MaxLatencyUS,
 			r.Reallocations, r.Migrations, r.Failures, r.Overflow)
 	}
 	seqRun := runSequential(reqs, *machines)
@@ -362,7 +396,7 @@ func parseShards(s string) ([]int, error) {
 // Theorem 1 stack.
 func runSequential(reqs []jobs.Request, machines int) Run {
 	s := realloc.New(realloc.WithMachines(machines))
-	lat := make([]time.Duration, 0, len(reqs))
+	lat := hdr.New()
 	failed := make(map[string]bool)
 	var reallocs, migrations, failures, served int
 	mem := startAllocSample()
@@ -373,7 +407,7 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 		}
 		t0 := time.Now()
 		c, err := realloc.Apply(s, r)
-		lat = append(lat, time.Since(t0))
+		lat.Record(int64(time.Since(t0)))
 		if err != nil {
 			failures++
 			if r.Kind == jobs.Insert {
@@ -391,8 +425,8 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
 	}
-	mem.finish(&run, wall, len(lat))
-	return finishRun(run, wall, lat)
+	mem.finish(&run, wall, int(lat.Count()))
+	return finishRun(run, wall, lat.Snapshot())
 }
 
 // runSequentialBatched replays the scenario single-threaded through the
@@ -401,7 +435,7 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 // caller queueing behind the batch observes.
 func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 	s := realloc.New(realloc.WithMachines(machines))
-	lat := make([]time.Duration, 0, len(reqs))
+	lat := hdr.New()
 	failed := make(map[string]bool)
 	var reallocs, migrations, failures, served int
 	mem := startAllocSample()
@@ -417,13 +451,12 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 		}
 		t0 := time.Now()
 		costs, err := realloc.ApplyBatch(s, chunk)
-		chunkLat := time.Since(t0)
+		lat.RecordN(int64(time.Since(t0)), uint64(len(chunk)))
 		var be *realloc.BatchError
 		if err != nil {
 			be, _ = err.(*realloc.BatchError)
 		}
 		for i, r := range chunk {
-			lat = append(lat, chunkLat)
 			if be != nil && be.At(i) != nil {
 				failures++
 				if r.Kind == jobs.Insert {
@@ -442,8 +475,8 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
 	}
-	mem.finish(&run, wall, len(lat))
-	return finishRun(run, wall, lat)
+	mem.finish(&run, wall, int(lat.Count()))
+	return finishRun(run, wall, lat.Snapshot())
 }
 
 // filterFailed drops deletes of jobs whose insert already failed.
@@ -498,15 +531,14 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 		lanes[lane] = append(lanes[lane], r)
 	}
 
-	laneLat := make([][]time.Duration, drivers)
+	lat := hdr.New() // concurrent-safe: all lanes record into one histogram
 	var wg sync.WaitGroup
 	mem := startAllocSample()
 	start := time.Now()
-	for lane, rs := range lanes {
+	for _, rs := range lanes {
 		wg.Add(1)
-		go func(lane int, rs []jobs.Request) {
+		go func(rs []jobs.Request) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, len(rs))
 			failed := make(map[string]bool)
 			for off := 0; off < len(rs); off += batch {
 				end := off + batch
@@ -519,28 +551,22 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 				}
 				t0 := time.Now()
 				_, err := s.ApplyBatch(chunk)
-				chunkLat := time.Since(t0)
+				lat.RecordN(int64(time.Since(t0)), uint64(len(chunk)))
 				var be *realloc.BatchError
 				if err != nil {
 					be, _ = err.(*realloc.BatchError)
 				}
 				for i, r := range chunk {
-					lat = append(lat, chunkLat)
 					if be != nil && be.At(i) != nil && r.Kind == jobs.Insert {
 						failed[r.Name] = true
 					}
 				}
 			}
-			laneLat[lane] = lat
-		}(lane, rs)
+		}(rs)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	var lat []time.Duration
-	for _, l := range laneLat {
-		lat = append(lat, l...)
-	}
 	rep := s.Report()
 	tot := rep.Total()
 	run := Run{
@@ -554,16 +580,9 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
 	}
-	mem.finish(&run, wall, len(lat))
-	for _, sc := range rep.Shards {
-		run.ShardDetail = append(run.ShardDetail, ShardStats{
-			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,
-			Failures: sc.Failures, Rerouted: sc.Rerouted, Overflow: sc.Overflow,
-			Batches: sc.Batches, Active: sc.Active,
-			Reallocations: sc.Cost.Reallocations, Migrations: sc.Cost.Migrations,
-		})
-	}
-	return finishRun(run, wall, lat)
+	mem.finish(&run, wall, int(lat.Count()))
+	run.ShardDetail = shardDetail(rep.Shards)
+	return finishRun(run, wall, lat.Snapshot())
 }
 
 // walSuffix appends "-wal" to a run name when the run was durable.
@@ -591,15 +610,14 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir strin
 		lanes[lane] = append(lanes[lane], r)
 	}
 
-	laneLat := make([][]time.Duration, drivers)
+	lat := hdr.New() // concurrent-safe: all lanes record into one histogram
 	var wg sync.WaitGroup
 	mem := startAllocSample()
 	start := time.Now()
-	for lane, rs := range lanes {
+	for _, rs := range lanes {
 		wg.Add(1)
-		go func(lane int, rs []jobs.Request) {
+		go func(rs []jobs.Request) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, len(rs))
 			failed := make(map[string]bool)
 			for _, r := range rs {
 				if r.Kind == jobs.Delete && failed[r.Name] {
@@ -607,21 +625,16 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir strin
 				}
 				t0 := time.Now()
 				_, err := s.Apply(r)
-				lat = append(lat, time.Since(t0))
+				lat.Record(int64(time.Since(t0)))
 				if err != nil && r.Kind == jobs.Insert {
 					failed[r.Name] = true
 				}
 			}
-			laneLat[lane] = lat
-		}(lane, rs)
+		}(rs)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	var lat []time.Duration
-	for _, l := range laneLat {
-		lat = append(lat, l...)
-	}
 	rep := s.Report()
 	tot := rep.Total()
 	run := Run{
@@ -634,40 +647,54 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir strin
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
 	}
-	mem.finish(&run, wall, len(lat))
-	for _, sc := range rep.Shards {
-		run.ShardDetail = append(run.ShardDetail, ShardStats{
+	mem.finish(&run, wall, int(lat.Count()))
+	run.ShardDetail = shardDetail(rep.Shards)
+	return finishRun(run, wall, lat.Snapshot())
+}
+
+// finishRun folds wall time, throughput, and the client-observed
+// latency quantiles into the run.
+func finishRun(r Run, wall time.Duration, lat hdr.Snapshot) Run {
+	r.WallMillis = float64(wall.Microseconds()) / 1e3
+	if wall > 0 {
+		r.ThroughputRPS = float64(lat.Count()) / wall.Seconds()
+	}
+	r.P50LatencyUS = quantileUS(lat, 0.50)
+	r.P90LatencyUS = quantileUS(lat, 0.90)
+	r.P99LatencyUS = quantileUS(lat, 0.99)
+	r.P999LatencyUS = quantileUS(lat, 0.999)
+	r.MaxLatencyUS = float64(lat.Max()) / 1e3
+	return r
+}
+
+// quantileUS returns the q-quantile of a latency histogram in
+// microseconds.
+func quantileUS(l hdr.Snapshot, q float64) float64 {
+	if l.Count() == 0 {
+		return 0
+	}
+	return float64(l.Quantile(q)) / 1e3
+}
+
+// shardDetail converts a report's per-shard aggregates into JSON rows,
+// including each worker's dispatch-boundary latency quantiles.
+func shardDetail(shards []metrics.ShardCost) []ShardStats {
+	out := make([]ShardStats, 0, len(shards))
+	for _, sc := range shards {
+		st := ShardStats{
 			Shard: sc.Shard, Machines: sc.Machines, Requests: sc.Requests,
 			Failures: sc.Failures, Rerouted: sc.Rerouted, Overflow: sc.Overflow,
 			Batches: sc.Batches, Active: sc.Active,
 			Reallocations: sc.Cost.Reallocations, Migrations: sc.Cost.Migrations,
-		})
+		}
+		if sc.Latency.Count() > 0 {
+			st.P50DispatchUS = quantileUS(sc.Latency, 0.50)
+			st.P99DispatchUS = quantileUS(sc.Latency, 0.99)
+			st.MaxDispatchUS = float64(sc.Latency.Max()) / 1e3
+		}
+		out = append(out, st)
 	}
-	return finishRun(run, wall, lat)
-}
-
-func finishRun(r Run, wall time.Duration, lat []time.Duration) Run {
-	r.WallMillis = float64(wall.Microseconds()) / 1e3
-	if wall > 0 {
-		r.ThroughputRPS = float64(len(lat)) / wall.Seconds()
-	}
-	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
-	r.P50LatencyUS = percentileUS(lat, 0.50)
-	r.P99LatencyUS = percentileUS(lat, 0.99)
-	return r
-}
-
-// percentileUS returns the p-th percentile of a sorted latency series in
-// microseconds (nearest-rank).
-func percentileUS(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(p * float64(len(sorted)))
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return float64(sorted[rank].Nanoseconds()) / 1e3
+	return out
 }
 
 func fail(err error) {
@@ -837,15 +864,14 @@ func servePhase(s *realloc.Sharded, p workload.ElasticPhase, drivers int) PhaseS
 		lane := int(h.Sum64() % uint64(drivers))
 		lanes[lane] = append(lanes[lane], r)
 	}
-	laneLat := make([][]time.Duration, drivers)
+	lat := hdr.New()
 	var failed atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
-	for lane, rs := range lanes {
+	for _, rs := range lanes {
 		wg.Add(1)
-		go func(lane int, rs []jobs.Request) {
+		go func(rs []jobs.Request) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, len(rs))
 			skip := make(map[string]bool)
 			for _, r := range rs {
 				if r.Kind == jobs.Delete && skip[r.Name] {
@@ -853,7 +879,7 @@ func servePhase(s *realloc.Sharded, p workload.ElasticPhase, drivers int) PhaseS
 				}
 				t0 := time.Now()
 				_, err := s.Apply(r)
-				lat = append(lat, time.Since(t0))
+				lat.Record(int64(time.Since(t0)))
 				if err != nil {
 					failed.Add(1)
 					if r.Kind == jobs.Insert {
@@ -861,24 +887,19 @@ func servePhase(s *realloc.Sharded, p workload.ElasticPhase, drivers int) PhaseS
 					}
 				}
 			}
-			laneLat[lane] = lat
-		}(lane, rs)
+		}(rs)
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	var lat []time.Duration
-	for _, l := range laneLat {
-		lat = append(lat, l...)
-	}
-	sort.Slice(lat, func(i, k int) bool { return lat[i] < lat[k] })
+	snap := lat.Snapshot()
 	ps := PhaseStat{
 		Name: p.Name, Machines: p.Machines,
-		Requests: len(lat), Failed: int(failed.Load()),
-		P50LatencyUS: percentileUS(lat, 0.50),
-		P99LatencyUS: percentileUS(lat, 0.99),
+		Requests: int(snap.Count()), Failed: int(failed.Load()),
+		P50LatencyUS: quantileUS(snap, 0.50),
+		P99LatencyUS: quantileUS(snap, 0.99),
 	}
 	if wall > 0 {
-		ps.ThroughputRPS = float64(len(lat)) / wall.Seconds()
+		ps.ThroughputRPS = float64(snap.Count()) / wall.Seconds()
 	}
 	return ps
 }

@@ -3,6 +3,8 @@ package metrics
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/hdr"
 )
 
 // ShardCost aggregates the requests served by one shard of a sharded
@@ -29,8 +31,9 @@ type ShardCost struct {
 	// Overflow is the number of requests this shard served after
 	// another shard rejected them as infeasible.
 	Overflow int
-	// Batches is the number of channel drains the shard worker
-	// performed; Requests/Batches is the mean pipeline batch size.
+	// Batches is the number of ring drains (worker wakeups) the shard
+	// worker performed; Requests/Batches is the mean pipeline batch
+	// size.
 	Batches int
 	// ResizeEvicted is the number of jobs pool resizes drained off this
 	// shard that its surviving machines could not absorb.
@@ -42,6 +45,11 @@ type ShardCost struct {
 	Active int
 	// Cost is the shard's total reallocation/migration cost.
 	Cost Cost
+	// Latency is the shard's admission-latency histogram (nanoseconds,
+	// enqueue to served): every client request the worker executed,
+	// per-request and batched alike. Empty when the front-end predates
+	// the report or served nothing.
+	Latency hdr.Snapshot
 }
 
 // ResizeCost is the price of one elastic machine-pool resize of a
@@ -108,6 +116,7 @@ func (r ShardReport) Total() ShardCost {
 		t.ResizeAbsorbed += s.ResizeAbsorbed
 		t.Active += s.Active
 		t.Cost.Add(s.Cost)
+		t.Latency.Merge(s.Latency)
 	}
 	return t
 }
@@ -140,18 +149,29 @@ func (r ShardReport) Imbalance() float64 {
 	return float64(maxR) / mean
 }
 
+// latencySummary renders a histogram as "p50/p99/p99.9/max" in
+// microseconds, or "" when empty.
+func latencySummary(l hdr.Snapshot) string {
+	if l.Count() == 0 {
+		return ""
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return fmt.Sprintf(" lat(us) p50=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		us(l.Quantile(0.50)), us(l.Quantile(0.99)), us(l.Quantile(0.999)), us(l.Max()))
+}
+
 // String renders one line per shard plus a totals line.
 func (r ShardReport) String() string {
 	var b strings.Builder
 	for _, s := range r.Shards {
-		fmt.Fprintf(&b, "shard %d: machines=%d active=%d reqs=%d fail=%d rerouted=%d overflow=%d batches=%d realloc=%d migr=%d\n",
+		fmt.Fprintf(&b, "shard %d: machines=%d active=%d reqs=%d fail=%d rerouted=%d overflow=%d batches=%d realloc=%d migr=%d%s\n",
 			s.Shard, s.Machines, s.Active, s.Requests, s.Failures, s.Rerouted, s.Overflow, s.Batches,
-			s.Cost.Reallocations, s.Cost.Migrations)
+			s.Cost.Reallocations, s.Cost.Migrations, latencySummary(s.Latency))
 	}
 	t := r.Total()
-	fmt.Fprintf(&b, "total:   machines=%d active=%d served=%d fail=%d rerouted=%d overflow=%d realloc=%d migr=%d imbalance=%.2f",
+	fmt.Fprintf(&b, "total:   machines=%d active=%d served=%d fail=%d rerouted=%d overflow=%d realloc=%d migr=%d imbalance=%.2f%s",
 		t.Machines, t.Active, r.Served(), t.Failures, t.Rerouted, t.Overflow,
-		t.Cost.Reallocations, t.Cost.Migrations, r.Imbalance())
+		t.Cost.Reallocations, t.Cost.Migrations, r.Imbalance(), latencySummary(t.Latency))
 	if len(r.Resizes) > 0 {
 		rt := r.ResizeTotal()
 		fmt.Fprintf(&b, "\nresizes: %d (net delta %+d) evicted=%d reinserted=%d dropped=%d realloc=%d migr=%d",

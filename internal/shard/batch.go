@@ -308,8 +308,13 @@ func (s *Scheduler) fanOut(groups [][]int, reqs []jobs.Request, costs []metrics.
 		}
 		si, idxs := si, idxs
 		wg.Add(1)
+		enq := monotonicNS()
 		err := s.send(si, task{ctrlDone: &wg, ctrl: func(inner sched.Scheduler, st *metrics.ShardCost) {
 			s.execBatchOn(si, inner, st, reqs, idxs, costs, errs, overflow, shed)
+			// Every request of the sub-batch shares the control task's
+			// enqueue-to-served latency — the same boundary the
+			// per-request path records in exec.
+			s.workers[si].lat.RecordN(monotonicNS()-enq, uint64(len(idxs)))
 		}})
 		if err != nil {
 			wg.Done()

@@ -1,0 +1,197 @@
+// Bounded MPSC ring dispatch. Each shard worker used to be fed by a
+// mutex-guarded buffered channel; under bursty multi-producer load the
+// channel's single lock serializes every enqueue and its wakeups rattle
+// the tail. This ring replaces it: producers reserve slots with a CAS
+// on the tail cursor (no lock on the hot path, per-slot sequence
+// numbers in the style of Vyukov's bounded queue), the single consumer
+// — the shard worker — pops without any atomics contention on the data
+// itself, and both sides park when they run out of work or space:
+//
+//   - empty ring: the consumer sets a "sleeping" flag, re-checks (so a
+//     racing producer cannot publish between the check and the park),
+//     and blocks on a 1-slot wake channel; producers hand it a token
+//     only when they observe the flag, so a busy ring never pays for
+//     wakeups.
+//   - full ring: producers register as space waiters and block on a
+//     condvar; the consumer broadcasts only when it frees a slot while
+//     waiters are registered. This preserves the old channel's
+//     backpressure semantics — send blocks, it does not fail.
+//
+// FIFO order is preserved per ring (the CAS reservation order is the
+// execution order), matching the channel it replaces. close() follows
+// the channel contract the worker relied on: after close, pushes fail
+// and the consumer drains every published slot before observing
+// "closed, empty".
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// slot is one ring cell. seq is the Vyukov sequence: slot k is free for
+// the producer of position p (p%size == k) when seq == p, published for
+// the consumer when seq == p+1, and free for the next lap's producer
+// when the consumer stores p+size.
+type slot struct {
+	seq atomic.Uint64
+	t   task
+}
+
+type ring struct {
+	slots []slot
+	mask  uint64
+	size  uint64
+
+	// tail is the producers' reservation cursor; head is the consumer's
+	// cursor, atomic only so producers can estimate fullness while
+	// deciding to park.
+	tail atomic.Uint64
+	head atomic.Uint64
+
+	closed atomic.Bool
+
+	// sleeping is set by the consumer before parking on wake; producers
+	// that observe it post a token (the channel holds at most one — a
+	// spurious token costs one empty re-check, never a lost wakeup).
+	sleeping atomic.Bool
+	wake     chan struct{}
+
+	// Space waiters (producers blocked on a full ring). spaceWaiters is
+	// written under mu; the atomic lets the consumer skip the lock
+	// entirely when nobody waits.
+	mu           sync.Mutex
+	spaceCond    *sync.Cond
+	spaceWaiters atomic.Int64
+}
+
+// newRing builds a ring with capacity >= want (rounded up to a power of
+// two, minimum 2).
+func newRing(want int) *ring {
+	size := uint64(2)
+	for size < uint64(want) {
+		size <<= 1
+	}
+	r := &ring{
+		slots: make([]slot, size),
+		mask:  size - 1,
+		size:  size,
+		wake:  make(chan struct{}, 1),
+	}
+	r.spaceCond = sync.NewCond(&r.mu)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues t, blocking while the ring is full (backpressure). It
+// returns false only when the ring is closed.
+func (r *ring) push(t task) bool {
+	for {
+		if r.closed.Load() {
+			return false
+		}
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		switch seq := s.seq.Load(); {
+		case seq == pos:
+			if !r.tail.CompareAndSwap(pos, pos+1) {
+				continue // lost the slot to another producer
+			}
+			s.t = t
+			s.seq.Store(pos + 1) // publish
+			if r.sleeping.Load() {
+				select {
+				case r.wake <- struct{}{}:
+				default:
+				}
+			}
+			return true
+		case seq < pos:
+			// The consumer has not freed this slot yet: the ring is a
+			// full lap behind. Park until space opens up.
+			r.waitSpace()
+		default:
+			// Another producer claimed pos between our load of tail and
+			// of seq; reload and retry.
+		}
+	}
+}
+
+// waitSpace parks the producer until the consumer frees a slot (or the
+// ring closes). The full-ring condition is re-checked under mu, and the
+// consumer broadcasts under mu after freeing a slot whenever waiters
+// are registered, so a wakeup cannot be lost between the check and the
+// wait.
+func (r *ring) waitSpace() {
+	r.mu.Lock()
+	r.spaceWaiters.Add(1)
+	for !r.closed.Load() && r.tail.Load()-r.head.Load() >= r.size {
+		r.spaceCond.Wait()
+	}
+	r.spaceWaiters.Add(-1)
+	r.mu.Unlock()
+}
+
+// pop removes the next task without blocking. Single consumer only.
+func (r *ring) pop() (task, bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return task{}, false // empty (or the slot is mid-publish)
+	}
+	t := s.t
+	s.t = task{} // drop the request's references before freeing the slot
+	s.seq.Store(pos + r.size)
+	r.head.Store(pos + 1)
+	if r.spaceWaiters.Load() > 0 {
+		r.mu.Lock()
+		r.spaceCond.Broadcast()
+		r.mu.Unlock()
+	}
+	return t, true
+}
+
+// popWait removes the next task, parking while the ring is empty. It
+// returns ok=false only when the ring is closed AND fully drained —
+// every push that returned true is handed to the consumer first.
+func (r *ring) popWait() (task, bool) {
+	for {
+		if t, ok := r.pop(); ok {
+			return t, true
+		}
+		r.sleeping.Store(true)
+		// Re-check after raising the flag: a producer that published
+		// before seeing the flag is caught here; one that published
+		// after seeing it has left a wake token.
+		if t, ok := r.pop(); ok {
+			r.sleeping.Store(false)
+			return t, true
+		}
+		if r.closed.Load() {
+			// Closed and observed empty after the flag re-check: the
+			// ring is drained (close() happens after all sends).
+			if t, ok := r.pop(); ok {
+				r.sleeping.Store(false)
+				return t, true
+			}
+			return task{}, false
+		}
+		<-r.wake
+		r.sleeping.Store(false)
+	}
+}
+
+// close marks the ring closed and wakes both sides: parked producers
+// fail their push, the parked consumer drains and exits.
+func (r *ring) close() {
+	r.closed.Store(true)
+	r.mu.Lock()
+	r.spaceCond.Broadcast()
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}

@@ -6,9 +6,12 @@
 // full Theorem 1 stack). Requests route to a primary shard by consistent
 // hashing of the job name; an insert the primary rejects as infeasible
 // overflows to the least-loaded shard. Each shard runs one worker
-// goroutine fed by a buffered request channel, so independent shards
-// serve requests in parallel and a burst against one shard pipelines
-// into batches instead of blocking the caller per request.
+// goroutine fed by a bounded MPSC ring buffer (lock-free CAS producers,
+// single consumer, park/unpark on empty/full — see ring.go), so
+// independent shards serve requests in parallel and a burst against one
+// shard pipelines into batches instead of blocking the caller per
+// request. Every request's dispatch latency (enqueue to served) lands
+// in a per-shard HDR histogram surfaced through Report.
 //
 // Two request paths are exposed: Apply (and the Insert/Delete methods of
 // sched.Scheduler) is synchronous — it returns the request's cost after
@@ -37,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/hdr"
 	"repro/internal/ident"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
@@ -64,7 +68,7 @@ const (
 	noShard = -3
 )
 
-// defaultBuffer is the per-shard request channel capacity.
+// defaultBuffer is the per-shard request ring capacity.
 const defaultBuffer = 256
 
 // maxBatch bounds how many queued requests a worker drains per wakeup.
@@ -104,7 +108,8 @@ type Config struct {
 	// Policy routes job names to primary shards (default: consistent
 	// hash ring with DefaultReplicas virtual nodes).
 	Policy Policy
-	// Buffer is the per-shard request channel capacity (default 256).
+	// Buffer is the per-shard request ring capacity (default 256,
+	// rounded up to a power of two).
 	Buffer int
 	// BatchSize is the preferred bulk-admission chunk size reported by
 	// Scheduler.BatchSize (0 means 1, i.e. no auto-chunking; negative
@@ -186,24 +191,34 @@ type Scheduler struct {
 var _ sched.Scheduler = (*Scheduler)(nil)
 
 // worker owns one shard: its inner scheduler, machine range, request
-// channel, and statistics. Only the worker goroutine touches inner and
+// ring, and statistics. Only the worker goroutine touches inner and
 // stats after startup. base is guarded by rangeMu; machines is atomic
 // because worker-side code (the overflow load heuristic) reads it and
 // must never block on rangeMu — a resize holds that lock while waiting
-// for the worker.
+// for the worker. lat is the shard's admission-latency histogram
+// (enqueue to served), recorded on the worker and snapshotted into the
+// shard report; hdr.Record is atomic and allocation-free, so it rides
+// the hot path.
 type worker struct {
 	idx      int
 	base     int          // global index of the shard's first machine
 	machines atomic.Int64 // current machine count
 	inner    sched.Scheduler
-	reqs     chan task
+	ring     *ring
 	done     chan struct{}
+	lat      *hdr.Histogram
 	stats    metrics.ShardCost
 }
 
 type task struct {
 	req      jobs.Request
 	overflow bool
+	// enq is when the task entered the dispatch boundary (just before
+	// its ring push, so a push blocked on a full ring counts as queue
+	// delay); the worker records served-enq into the shard's latency
+	// histogram. It is monotonic nanoseconds since the package epoch —
+	// one clock read, no wall-time component, 8 bytes in the ring slot.
+	enq int64
 	// retryable marks a primary insert that the front-end will retry on
 	// a fallback shard if this shard rejects it as infeasible; such a
 	// rejection counts as Rerouted, not as a terminal Failure.
@@ -277,8 +292,9 @@ func newScheduler(cfg Config, perShard []int) *Scheduler {
 			idx:   i,
 			base:  base,
 			inner: cfg.Factory(m),
-			reqs:  make(chan task, cfg.Buffer),
+			ring:  newRing(cfg.Buffer),
 			done:  make(chan struct{}),
+			lat:   hdr.New(),
 		}
 		w.machines.Store(int64(m))
 		w.stats.Shard = i
@@ -290,31 +306,22 @@ func newScheduler(cfg Config, perShard []int) *Scheduler {
 	return s
 }
 
-// run is the shard worker loop: drain up to maxBatch queued tasks per
-// wakeup and serve them back to back.
+// run is the shard worker loop: park until the ring has work, then
+// serve up to maxBatch queued tasks back to back per wakeup.
 func (w *worker) run() {
 	defer close(w.done)
-	batch := make([]task, 0, maxBatch)
 	for {
-		t, ok := <-w.reqs
+		t, ok := w.ring.popWait()
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], t)
-	fill:
-		for len(batch) < maxBatch {
-			select {
-			case t2, ok2 := <-w.reqs:
-				if !ok2 {
-					break fill
-				}
-				batch = append(batch, t2)
-			default:
-				break fill
-			}
-		}
 		w.stats.Batches++
-		for _, t := range batch {
+		w.exec(t)
+		for n := 1; n < maxBatch; n++ {
+			t, ok := w.ring.pop()
+			if !ok {
+				break
+			}
 			w.exec(t)
 		}
 	}
@@ -346,6 +353,7 @@ func (w *worker) exec(t task) {
 		w.stats.Overflow++
 	}
 	w.stats.Cost.Add(c)
+	w.lat.Record(monotonicNS() - t.enq)
 	t.finish(c, err)
 }
 
@@ -391,7 +399,7 @@ func (s *Scheduler) trackedID(name string) (ident.ID, int, bool) {
 	return id, v, ok
 }
 
-// send enqueues a task on shard i, blocking when the shard's buffer is
+// send enqueues a task on shard i, blocking when the shard's ring is
 // full (backpressure). It fails with ErrClosed after Close.
 func (s *Scheduler) send(i int, t task) error {
 	s.sendMu.RLock()
@@ -399,9 +407,20 @@ func (s *Scheduler) send(i int, t task) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.workers[i].reqs <- t
+	t.enq = monotonicNS()
+	if !s.workers[i].ring.push(t) {
+		return ErrClosed
+	}
 	return nil
 }
+
+// epoch anchors the monotonic clock used for dispatch-latency stamps.
+var epoch = time.Now()
+
+// monotonicNS returns nanoseconds since the package epoch — a single
+// monotonic clock read, cheaper than time.Now (which also reads the
+// wall clock) and immune to wall-time jumps.
+func monotonicNS() int64 { return int64(time.Since(epoch)) }
 
 // Shards returns the shard count (fixed for the scheduler's lifetime;
 // only the machine pool is elastic).
@@ -905,12 +924,14 @@ func (s *Scheduler) Jobs() []jobs.Job {
 }
 
 // Report returns the shard-aware cost report: per-shard totals of
-// requests, failures, overflow hops, batches, resizes, and costs.
+// requests, failures, overflow hops, batches, resizes, costs, and the
+// admission-latency histogram (enqueue to served, per request).
 func (s *Scheduler) Report() metrics.ShardReport {
 	rep := metrics.ShardReport{Shards: make([]metrics.ShardCost, len(s.workers))}
 	_ = s.each(func(i int, inner sched.Scheduler, st *metrics.ShardCost) {
 		snap := *st
 		snap.Active = inner.Active()
+		snap.Latency = s.workers[i].lat.Snapshot()
 		rep.Shards[i] = snap
 	})
 	s.mu.RLock()
@@ -1345,7 +1366,7 @@ func (s *Scheduler) Close() {
 	}
 	s.closed.Store(true)
 	for _, w := range s.workers {
-		close(w.reqs)
+		w.ring.close()
 	}
 	s.sendMu.Unlock()
 	for _, w := range s.workers {

@@ -3,25 +3,43 @@
 package realloc
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/workload"
 )
 
+// soakSteps returns the request count for the soak run: 20000 by
+// default, overridable via SOAK_STEPS so the nightly CI job can run a
+// much longer horizon than the per-PR pipeline affords.
+func soakSteps(t *testing.T) int {
+	env := os.Getenv("SOAK_STEPS")
+	if env == "" {
+		return 20000
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		t.Fatalf("invalid SOAK_STEPS=%q: want a positive integer", env)
+	}
+	return n
+}
+
 func TestSoakFullStack(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
+	steps := soakSteps(t)
 	const m = 4
 	s := New(WithMachines(m))
 	g, err := workload.NewGenerator(workload.Config{
-		Seed: 2013, Machines: m, Gamma: 24, Horizon: 1 << 15, Steps: 20000, MinSpan: 2,
+		Seed: 2013, Machines: m, Gamma: 24, Horizon: 1 << 15, Steps: steps, MinSpan: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	maxCost, maxMigr, total := 0, 0, 0
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < steps; i++ {
 		r := g.Next()
 		if r.Kind == 0 { // jitter inserts off the aligned lattice
 			r.Window.End += r.Window.Span() / 3
@@ -58,7 +76,7 @@ func TestSoakFullStack(t *testing.T) {
 		t.Errorf("worst request cost %d implausible", maxCost)
 	}
 	t.Logf("soak: %d requests, %.2f reallocs/req mean, worst %d, active %d",
-		20000, float64(total)/20000, maxCost, s.Active())
+		steps, float64(total)/float64(steps), maxCost, s.Active())
 }
 
 func TestVerifyHelper(t *testing.T) {
