@@ -1,121 +1,34 @@
-// Architecture-hygiene tests: the layering of the foundation packages
-// is enforced by parsing their imports, so a violation fails CI instead
-// of surviving as an unwritten convention.
+// Architecture-hygiene test: the repo's layering is enforced by the
+// declarative import-DAG analyzer in internal/analysis (the same one
+// cmd/reallocvet runs in CI), so a violation fails `go test` instead of
+// surviving as an unwritten convention.
 //
-// The sanctioned layering, bottom-up:
-//
-//	mathx, hdr, ident     — stdlib only
-//	metrics               — the cost/latency currencies; stdlib + hdr
-//	jobs                  — the shared model; stdlib + mathx
-//	align                 — pure window geometry; jobs + mathx
-//	sched                 — the interface layer; jobs + metrics
-//	core                  — the paper's reservation scheduler; it may
-//	                        use the model (jobs), the cost currencies
-//	                        (metrics), integer helpers (mathx), window
-//	                        geometry (align), and the interface layer it
-//	                        implements (sched) — and NOTHING else: no
-//	                        wrappers, no workloads, no shard front-end.
-//
-// Everything above (trim, multi, alignsched, shard, workload, ...) may
-// depend downward freely; nothing here may depend upward or sideways.
+// The sanctioned layering lives in one place now —
+// analysis.DefaultLayerRules — which covers every package in the
+// module, bottom-up: the stdlib-only leaves (mathx, hdr, ident,
+// analysis), the currencies and model (metrics, jobs, align, sched,
+// wal, pma), the schedulers (core, trim, edf, naive, ...), the
+// composition layers (multi, alignsched, shard), the harnesses, the
+// public API, and the commands. This test replaces the old ad-hoc
+// foundation-only import walk: the analyzer checks all packages, and
+// because no internal rule sanctions "repro", it also subsumes the old
+// no-upward-imports test (internals must never depend on the public
+// API).
 package realloc
 
 import (
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
-// archAllow maps each checked package directory to the internal imports
-// it is allowed, beyond the standard library. An import of any other
-// repro/... package — or of any external module — is a layering
-// violation.
-var archAllow = map[string][]string{
-	"internal/mathx":   {},
-	"internal/hdr":     {},
-	"internal/metrics": {"repro/internal/hdr"},
-	"internal/ident":   {},
-	"internal/jobs":    {"repro/internal/mathx"},
-	"internal/align":   {"repro/internal/jobs", "repro/internal/mathx"},
-	"internal/sched":   {"repro/internal/jobs", "repro/internal/metrics"},
-	"internal/core": {
-		"repro/internal/align",
-		"repro/internal/ident",
-		"repro/internal/jobs",
-		"repro/internal/mathx",
-		"repro/internal/metrics",
-		"repro/internal/sched",
-	},
-}
-
-func TestArchFoundationImports(t *testing.T) {
-	fset := token.NewFileSet()
-	for dir, allowList := range archAllow {
-		allowed := make(map[string]bool, len(allowList))
-		for _, p := range allowList {
-			allowed[p] = true
-		}
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			t.Fatalf("read %s: %v", dir, err)
-		}
-		checked := 0
-		for _, entry := range entries {
-			name := entry.Name()
-			if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			path := filepath.Join(dir, name)
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				t.Errorf("parse %s: %v", path, err)
-				continue
-			}
-			checked++
-			for _, imp := range f.Imports {
-				p := strings.Trim(imp.Path.Value, `"`)
-				switch {
-				case strings.HasPrefix(p, "repro/"):
-					if !allowed[p] {
-						t.Errorf("%s imports %s — not in %s's sanctioned layer set %v",
-							path, p, dir, allowList)
-					}
-				case strings.Contains(p, "."):
-					t.Errorf("%s imports external module %s — foundation packages are stdlib-only", path, p)
-				}
-			}
-		}
-		if checked == 0 {
-			t.Errorf("%s: no non-test Go files checked — did the package move?", dir)
-		}
-	}
-}
-
-// TestArchNoUpwardImports: no internal package may import the root
-// package (repro) — the public API depends on the internals, never the
-// reverse.
-func TestArchNoUpwardImports(t *testing.T) {
-	fset := token.NewFileSet()
-	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
-			return err
-		}
-		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if perr != nil {
-			t.Errorf("parse %s: %v", path, perr)
-			return nil
-		}
-		for _, imp := range f.Imports {
-			if strings.Trim(imp.Path.Value, `"`) == "repro" {
-				t.Errorf("%s imports the root package — internals must not depend on the public API", path)
-			}
-		}
-		return nil
-	})
+func TestArchLayering(t *testing.T) {
+	pkgs, err := analysis.Load(".", analysis.LoadSyntax, "./...")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("load: %v", err)
+	}
+	layering := analysis.Layering(analysis.ModulePath, analysis.DefaultLayerRules())
+	for _, d := range analysis.Run(pkgs, []*analysis.Analyzer{layering}) {
+		t.Errorf("%s", d)
 	}
 }

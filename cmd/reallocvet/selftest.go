@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// injection is one known-bad fixture: files laid out under a scratch
+// tree, and the analyzer that must flag them.
+type injection struct {
+	name  string
+	files map[string]string // relative path -> source
+	run   func(pkgs []*analysis.Package) []analysis.Diagnostic
+}
+
+// runSelftest materializes each injection in a temp tree, runs the
+// corresponding analyzer, and fails unless the analyzer reports at
+// least one diagnostic of its own name. A gate that cannot fail is no
+// gate; this proves each analyzer still fires before a clean tree run
+// is trusted.
+func runSelftest() error {
+	for _, inj := range injections() {
+		dir, err := os.MkdirTemp("", "reallocvet-selftest-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		for rel, src := range inj.files {
+			path := filepath.Join(dir, filepath.FromSlash(rel))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				return err
+			}
+		}
+		pkgs, err := analysis.LoadFixtureTree(dir, analysis.LoadTypes, ".")
+		if err != nil {
+			return fmt.Errorf("%s: load injected fixture: %v", inj.name, err)
+		}
+		diags := inj.run(pkgs)
+		hit := false
+		for _, d := range diags {
+			if d.Analyzer == inj.name {
+				hit = true
+			}
+		}
+		if !hit {
+			return fmt.Errorf("analyzer %q did not flag its injected violation (got %d diagnostics: %v)",
+				inj.name, len(diags), diags)
+		}
+		fmt.Printf("  %-13s flags injected violation: ok\n", inj.name)
+	}
+	return nil
+}
+
+func injections() []injection {
+	runSuite := func(a *analysis.Analyzer) func([]*analysis.Package) []analysis.Diagnostic {
+		return func(pkgs []*analysis.Package) []analysis.Diagnostic {
+			return analysis.Run(pkgs, []*analysis.Analyzer{a})
+		}
+	}
+	return []injection{
+		{
+			name: "layering",
+			files: map[string]string{
+				"lay/dep/dep.go":   "package dep\n\nconst N = 1\n",
+				"lay/leaf/leaf.go": "package leaf\n\nimport \"lay/dep\"\n\nconst M = dep.N\n",
+			},
+			// lay/leaf is declared a stdlib-only leaf, but imports lay/dep.
+			run: runSuite(analysis.Layering("lay", map[string]analysis.LayerRule{
+				"lay/dep":  {},
+				"lay/leaf": {},
+			})),
+		},
+		{
+			name: "hotpath",
+			files: map[string]string{
+				"hot/hot.go": `package hot
+
+import "fmt"
+
+//reallocvet:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // fmt in a hot path: must be flagged
+}
+`,
+			},
+			run: runSuite(analysis.Hotpath()),
+		},
+		{
+			name: "poolhygiene",
+			files: map[string]string{
+				"pool/pool.go": `package pool
+
+import "sync"
+
+type scratch struct{ names []string }
+
+var p = sync.Pool{New: func() any { return new(scratch) }}
+
+// put returns s without clearing names: the pool pins the strings.
+func put(s *scratch) {
+	p.Put(s)
+}
+`,
+			},
+			run: runSuite(analysis.Poolhygiene()),
+		},
+		{
+			name: "determinism",
+			files: map[string]string{
+				"det/det.go": `//reallocvet:deterministic
+package det
+
+// Order walks a map and emits in iteration order: nondeterministic.
+func Order(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k)
+	}
+}
+`,
+			},
+			run: runSuite(analysis.Determinism()),
+		},
+	}
+}

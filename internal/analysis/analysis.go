@@ -1,0 +1,266 @@
+// Package analysis is the repo's static-analysis toolkit: a small,
+// stdlib-only framework shaped like golang.org/x/tools/go/analysis, and
+// the four reallocvet analyzers built on it (layering, hotpath,
+// poolhygiene, determinism).
+//
+// Why not the real go/analysis? The repo's build discipline is
+// zero-external-dependency (see arch_test.go's stdlib-only rule, which
+// this package now enforces for the whole tree), so the framework is
+// re-implemented on go/ast + go/types. The API mirrors the upstream
+// shape — Analyzer{Name, Doc, Run(*Pass)}, Pass.Reportf, and an
+// analysistest-style fixture runner with `// want "regexp"` comments —
+// so analyzers written here port to x/tools mechanically if the policy
+// ever changes.
+//
+// Directives understood by the suite (all are line comments):
+//
+//	//reallocvet:hotpath
+//	    On a function's doc comment: the function is a steady-state
+//	    hot path; the hotpath analyzer flags allocation-causing
+//	    constructs inside it.
+//	//reallocvet:deterministic
+//	    Anywhere in a file (conventionally above the package clause):
+//	    the whole package must produce deterministic iteration; the
+//	    determinism analyzer checks every range-over-map in it.
+//	//reallocvet:allow <analyzer> (reason)
+//	    On or immediately above a flagged line: suppresses that
+//	    analyzer's diagnostics for the line. The reason is mandatory —
+//	    an allow without one is itself a diagnostic.
+//	//reallocvet:orderinsensitive (reason)
+//	    Alias for `allow determinism`: the loop body is proven
+//	    order-insensitive by the stated reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors the upstream
+// go/analysis Analyzer shape, minus facts and requires (the suite has
+// no cross-analyzer dependencies).
+type Analyzer struct {
+	Name string // short lowercase identifier, used in diagnostics and allow directives
+	Doc  string // one-paragraph description
+
+	// NeedTypes declares that Run reads Pass.Types/Pass.Info. Packages
+	// loaded without type information (LoadSyntax) skip such analyzers.
+	NeedTypes bool
+
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one package's syntax and types.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Path  string // package import path ("repro/internal/core")
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Types and Info are nil when the package was loaded syntax-only;
+	// analyzers with NeedTypes set never see that.
+	Types *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Suppression is applied centrally:
+// a diagnostic whose line carries (or whose previous line carries) a
+// matching `//reallocvet:allow` directive is dropped; malformed allow
+// directives (no analyzer name, or no reason) are reported instead, so
+// a suppression is always a documented decision.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, allowDiags := collectAllows(pkg)
+		diags = append(diags, allowDiags...)
+		for _, a := range analyzers {
+			if a.NeedTypes && pkg.Types == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Types:    pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			start := len(diags)
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      token.Position{Filename: pkg.Path},
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+			// Filter the diagnostics this pass produced through the
+			// package's allow table.
+			kept := diags[:start]
+			for _, d := range diags[start:] {
+				if !allows.allowed(a.Name, d.Pos) {
+					kept = append(kept, d)
+				}
+			}
+			diags = kept
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// allowTable records, per file and line, which analyzers are suppressed.
+type allowTable struct {
+	// byFile[filename][line] -> set of analyzer names ("*" = all).
+	byFile map[string]map[int]map[string]bool
+}
+
+func (t allowTable) allowed(analyzer string, pos token.Position) bool {
+	lines := t.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[pos.Line]
+	return set[analyzer] || set["*"]
+}
+
+// collectAllows scans a package's comments for allow directives. An
+// allow on line N suppresses diagnostics on line N and line N+1, so it
+// can sit at the end of the flagged line or on its own line above.
+func collectAllows(pkg *Package) (allowTable, []Diagnostic) {
+	t := allowTable{byFile: make(map[string]map[int]map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "reallocvet",
+						Pos:      pos,
+						Message:  "malformed allow directive: want //reallocvet:allow <analyzer> (reason) or //reallocvet:orderinsensitive (reason)",
+					})
+					continue
+				}
+				lines := t.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					t.byFile[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					set[name] = true
+				}
+			}
+		}
+	}
+	return t, bad
+}
+
+// parseAllow recognises the suppression directives. ok reports that the
+// comment is an allow-family directive at all; name/reason are empty
+// when the directive is malformed.
+func parseAllow(text string) (name, reason string, ok bool) {
+	switch {
+	case strings.HasPrefix(text, "//reallocvet:allow"):
+		rest := strings.TrimPrefix(text, "//reallocvet:allow")
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return "", "", true
+		}
+		name = fields[0]
+		reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+		return name, reason, true
+	case strings.HasPrefix(text, "//reallocvet:orderinsensitive"):
+		reason = strings.TrimSpace(strings.TrimPrefix(text, "//reallocvet:orderinsensitive"))
+		return "determinism", reason, true
+	}
+	return "", "", false
+}
+
+// hasDirective reports whether the comment group contains the given
+// `//reallocvet:<name>` directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//reallocvet:" + directive
+	for _, c := range doc.List {
+		text := c.Text
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// directive (used for the package-scoped `deterministic` marker, which
+// conventionally sits right above the package clause).
+func fileHasDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		if hasDirective(cg, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgIsDeterministic reports whether any file in the package carries
+// the //reallocvet:deterministic marker.
+func pkgIsDeterministic(files []*ast.File) bool {
+	for _, f := range files {
+		if fileHasDirective(f, "deterministic") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package analysis
+
+// An analysistest-style fixture runner: fixture packages live under
+// testdata/src/<tree>/<pkg>/, and lines expecting a diagnostic carry a
+// trailing `// want "regexp"` comment (multiple quoted patterns allowed
+// on one line). The runner fails on any unmatched expectation AND on
+// any unexpected diagnostic, so fixtures double as negative tests:
+// a construct with no want comment asserts the analyzer stays quiet.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runFixture loads testdata/src/<tree> (type-checked unless mode says
+// otherwise), runs the analyzers, and matches diagnostics against the
+// fixtures' want comments.
+func runFixture(t *testing.T, mode Mode, tree string, analyzers ...*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", tree)
+	pkgs, err := LoadFixtureTree(root, mode, ".")
+	if err != nil {
+		t.Fatalf("load fixture tree %s: %v", root, err)
+	}
+
+	var wants []*expectation
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(qs) == 0 {
+				t.Errorf("%s:%d: malformed want comment (no quoted pattern): %s", path, i+1, line)
+				continue
+			}
+			for _, q := range qs {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					t.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, q[1], err)
+					continue
+				}
+				wants = append(wants, &expectation{file: abs, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := Run(pkgs, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var sortishName = regexp.MustCompile(`(?i)^sort`)
+
+// Determinism returns the analyzer for packages marked
+// `//reallocvet:deterministic`: every `range` over a map must either
+// feed a sort (the collect-keys-then-sort pattern) or carry a
+// `//reallocvet:orderinsensitive (reason)` annotation proving the loop
+// body commutes. Go randomizes map iteration order per run, so an
+// unsorted, order-sensitive map walk in a deterministic package is
+// exactly the nondeterminism bug class the PR 2/3 differential
+// harnesses caught at runtime (trim recovery, batch routing); this
+// makes the rule itself machine-checked.
+func Determinism() *Analyzer {
+	a := &Analyzer{
+		Name:      "determinism",
+		Doc:       "range over a map in a //reallocvet:deterministic package must feed a sort or be annotated order-insensitive",
+		NeedTypes: true,
+	}
+	a.Run = func(pass *Pass) error {
+		if !pkgIsDeterministic(pass.Files) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkDetFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkDetFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := typeOf(info, rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if feedsSort(info, fn, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"range over map %s in deterministic package %s: iteration order is randomized — collect and sort, or annotate //reallocvet:orderinsensitive (reason)",
+			types.ExprString(rng.X), pass.Path)
+		return true
+	})
+}
+
+// feedsSort reports whether the loop collects into a slice that the
+// enclosing function later sorts: the canonical
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// shape (any sort/slices sort call, or a helper whose name starts with
+// "sort", counts).
+func feedsSort(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	// Collect append targets inside the loop body.
+	targets := map[string]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					targets[types.ExprString(as.Lhs[i])] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return false
+	}
+	// Is any target later fed to a sort?
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !sortish(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if targets[types.ExprString(arg)] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func sortish(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+		return sortishName.MatchString(fun.Sel.Name)
+	case *ast.Ident:
+		return sortishName.MatchString(fun.Name)
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestDeterminismFixture: a marked package must sort or annotate its
+// map ranges; an unmarked package (determinism/free) never produces
+// diagnostics, which the runner enforces because free.go carries no
+// want comments.
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, LoadTypes, "determinism", Determinism())
+}

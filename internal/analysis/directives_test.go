@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseTestPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "d", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//reallocvet:allow hotpath (amortized growth)", "hotpath", "(amortized growth)", true},
+		{"//reallocvet:orderinsensitive (sum commutes)", "determinism", "(sum commutes)", true},
+		{"//reallocvet:allow hotpath", "hotpath", "", true}, // malformed: no reason
+		{"//reallocvet:allow", "", "", true},                // malformed: nothing at all
+		{"//reallocvet:orderinsensitive", "determinism", "", true},
+		{"//reallocvet:hotpath", "", "", false}, // different directive family
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseAllow(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+// TestCollectAllowsMalformed: an allow with no reason (or no analyzer)
+// is reported, not honored — a suppression must always be explained.
+func TestCollectAllowsMalformed(t *testing.T) {
+	pkg := parseTestPkg(t, `package d
+
+func f() int {
+	x := 1
+	//reallocvet:allow hotpath
+	return x
+}
+`)
+	allows, bad := collectAllows(pkg)
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(bad), bad)
+	}
+	if bad[0].Pos.Line != 5 {
+		t.Errorf("malformed directive reported at line %d, want 5", bad[0].Pos.Line)
+	}
+	if allows.allowed("hotpath", token.Position{Filename: "d.go", Line: 6}) {
+		t.Error("malformed allow must not suppress anything")
+	}
+}
+
+// TestCollectAllowsWindow: a well-formed allow on line N suppresses its
+// analyzer — and only its analyzer — on lines N and N+1.
+func TestCollectAllowsWindow(t *testing.T) {
+	pkg := parseTestPkg(t, `package d
+
+func f() int {
+	//reallocvet:allow hotpath (the next line is fine)
+	x := 1
+	return x
+}
+`)
+	allows, bad := collectAllows(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %v", bad)
+	}
+	at := func(line int) token.Position { return token.Position{Filename: "d.go", Line: line} }
+	if !allows.allowed("hotpath", at(4)) || !allows.allowed("hotpath", at(5)) {
+		t.Error("allow must cover its own line and the next")
+	}
+	if allows.allowed("hotpath", at(6)) {
+		t.Error("allow window must end after one following line")
+	}
+	if allows.allowed("determinism", at(5)) {
+		t.Error("allow must be scoped to the named analyzer")
+	}
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// TestHotpathFixture type-checks the hotpath fixtures against real
+// stdlib export data and matches the analyzer's findings against the
+// `// want` comments. The ok.go fixture has no want comments at all:
+// any diagnostic there fails the test, pinning the analyzer's
+// negative space (unannotated functions, provisioned appends,
+// capture-free closures, ranged literals, documented allows).
+func TestHotpathFixture(t *testing.T) {
+	runFixture(t, LoadTypes, "hotpath", Hotpath())
+}

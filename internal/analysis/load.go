@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and (optionally) type-checked
+// package, ready to be handed to analyzers via Run.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only for go-list loads
+
+	// Types/Info are nil for syntax-only loads.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Mode selects how much work the loader does.
+type Mode int
+
+const (
+	// LoadSyntax parses files only. Enough for import-level analyzers
+	// (layering); much faster because no compilation is required.
+	LoadSyntax Mode = iota
+	// LoadTypes additionally type-checks every target package against
+	// export data produced by `go list -export` — no network, no
+	// external tooling, just the host toolchain's build cache.
+	LoadTypes
+)
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load loads the packages matching the go-list patterns (resolved
+// relative to dir), parsing their non-test Go files and, in LoadTypes
+// mode, type-checking them against export data for every dependency.
+func Load(dir string, mode Mode, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-json"}
+	if mode == LoadTypes {
+		// -deps -export gives us export data for the full dependency
+		// closure (stdlib included); targets are the non-DepOnly entries.
+		args = append(args, "-deps", "-export")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	pkgs, err := goList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range targets {
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{Path: p.ImportPath, Dir: p.Dir, Fset: fset, Files: files}
+		if mode == LoadTypes {
+			pkg.Types, pkg.Info, err = check(fset, p.ImportPath, files, imp)
+			if err != nil {
+				return nil, fmt.Errorf("type-check %s: %w", p.ImportPath, err)
+			}
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// exportImporter satisfies go/types imports from compiler export data:
+// the lookup map (import path -> export file) comes from
+// `go list -export`, and the stdlib gc importer does the decoding.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the listed dependency closure)", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fixture loading (analysistest-style testdata trees)
+// ---------------------------------------------------------------------
+
+// LoadFixtureTree loads every package under root (a testdata/src-style
+// tree): each directory containing .go files becomes one package whose
+// import path is its slash-separated path relative to root — so
+// testdata/src/hotpath/a.go (root testdata/src) loads as package path
+// "hotpath", and fixtures can import each other by those paths
+// ("layering/leaf"). Files directly in root are not allowed.
+//
+// Standard-library imports are resolved with export data obtained from
+// the host toolchain (`go list -export -deps`, run in listDir — any
+// directory inside a module, or the repo root). No network is needed.
+func LoadFixtureTree(root string, mode Mode, listDir string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	base := root
+
+	// Discover fixture package dirs and the stdlib imports they need.
+	dirs := map[string][]string{} // pkg path -> file names
+	stdlib := map[string]bool{}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(base, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return fmt.Errorf("fixture file %s sits directly in the tree root; put it in a package directory", path)
+		}
+		pkgPath := filepath.ToSlash(rel)
+		dirs[pkgPath] = append(dirs[pkgPath], filepath.Base(path))
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if first, _, _ := strings.Cut(p, "/"); !strings.Contains(first, ".") {
+				if _, isFixture := dirs[p]; !isFixture {
+					stdlib[p] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no fixture packages under %s", root)
+	}
+
+	var paths []string
+	for p := range dirs {
+		paths = append(paths, p)
+		delete(stdlib, p) // a fixture package shadows any same-named stdlib path
+	}
+	sort.Strings(paths)
+
+	l := &fixtureLoader{base: base, dirs: dirs, fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+	if mode == LoadTypes {
+		exports, err := stdlibExports(listDir, stdlib)
+		if err != nil {
+			return nil, err
+		}
+		l.std = exportImporter(l.fset, exports)
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// stdlibExports resolves export-data files for the given stdlib import
+// paths (and their transitive dependencies).
+func stdlibExports(listDir string, want map[string]bool) (map[string]string, error) {
+	if len(want) == 0 {
+		return nil, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json", "--"}
+	var names []string
+	for p := range want {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	args = append(args, names...)
+	pkgs, err := goList(listDir, args)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+type fixtureLoader struct {
+	base string
+	dirs map[string][]string
+	fset *token.FileSet
+	pkgs map[string]*Package
+	std  types.Importer
+}
+
+func (l *fixtureLoader) load(path string, mode Mode) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	names := l.dirs[path]
+	sort.Strings(names)
+	dir := filepath.Join(l.base, filepath.FromSlash(path))
+	files, err := parseFiles(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	l.pkgs[path] = pkg
+	if mode == LoadTypes {
+		pkg.Types, pkg.Info, err = check(l.fset, path, files, fixtureImporter{l})
+		if err != nil {
+			return nil, fmt.Errorf("type-check fixture %s: %w", path, err)
+		}
+	}
+	return pkg, nil
+}
+
+// fixtureImporter resolves imports during fixture type-checking:
+// fixture-internal paths load (recursively) from source, everything
+// else falls through to stdlib export data.
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if _, ok := fi.l.dirs[path]; ok {
+		pkg, err := fi.l.load(path, LoadTypes)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if fi.l.std == nil {
+		return nil, fmt.Errorf("fixture imports %q but loader has no stdlib importer", path)
+	}
+	return fi.l.std.Import(path)
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// clearishName matches method names that plausibly clear or reset their
+// receiver (the repo's pools use clear()/assignments directly, but a
+// helper with one of these names also counts as visible hygiene).
+var clearishName = regexp.MustCompile(`(?i)^(reset|clear|truncate|release|recycle|drop|zero|init)`)
+
+// Poolhygiene returns the analyzer enforcing the repo's pooling
+// invariant (README "Performance", and every pool's doc comment):
+// a value returned to a sync.Pool must not pin its previous contents,
+// and must not be touched after it is handed back.
+//
+// Concretely, for every `(*sync.Pool).Put(v)`:
+//
+//   - if v's type carries references (pointers, slices, maps, strings,
+//     channels, interfaces — directly or in fields), the enclosing
+//     function must visibly clear it first: a clear(...) of v or one of
+//     its fields, an assignment into v (x = x[:0], *x = T{}, x.f = nil,
+//     x := make(...)), a clearing-named method call (Reset/Clear/...),
+//     or — for channels — a receive that drains it;
+//   - v must not be used after the Put: once pooled, another goroutine
+//     may own it.
+//
+// Deliberate exceptions (a channel proven empty by control flow, say)
+// carry `//reallocvet:allow poolhygiene (reason)`.
+func Poolhygiene() *Analyzer {
+	a := &Analyzer{
+		Name:      "poolhygiene",
+		Doc:       "sync.Pool.Put requires a visible prior clear of reference-carrying values and forbids use after Put",
+		NeedTypes: true,
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkPoolFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkPoolFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(pass.Info, call) || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		root := exprRoot(arg)
+		t := typeOf(pass.Info, arg)
+		if carriesRefs(t) && root != "" && !clearedBefore(pass.Info, fn, root, call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"Pool.Put(%s) without a visible prior clear — %s carries references, and pooled values must not pin their contents",
+				types.ExprString(arg), types.TypeString(t, nil))
+		}
+		checkUseAfterPut(pass, fn, call, arg)
+		return true
+	})
+}
+
+func isPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fnObj, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fnObj.FullName() == "(*sync.Pool).Put"
+}
+
+// clearedBefore reports whether fn visibly clears root (or a part of
+// it) at a position before pos.
+func clearedBefore(info *types.Info, fn *ast.FuncDecl, root string, pos token.Pos) bool {
+	touches := func(e ast.Expr) bool {
+		r := exprRoot(e)
+		return r == root || strings.HasPrefix(r, root+".")
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= pos {
+			return !found
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if touches(lhs) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "clear" && len(n.Args) == 1 && touches(n.Args[0]) {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if touches(fun.X) && clearishName.MatchString(fun.Sel.Name) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// A receive drains a pooled channel: the value it pins is gone.
+			if n.Op == token.ARROW && touches(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` also drains a channel.
+			if _, isChan := typeOf(info, n.X).Underlying().(*types.Chan); isChan && touches(n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkUseAfterPut flags uses of the pooled variable after the Put
+// call, unless the whole variable is reassigned first, or a control-
+// flow terminator (return, panic, break, continue, goto) sits between
+// the Put and the use — a Put in an early-return branch is not
+// sequential with code after the branch. Only single-identifier roots
+// are tracked (the common pool shape); field paths would need alias
+// analysis.
+func checkUseAfterPut(pass *Pass, fn *ast.FuncDecl, put *ast.CallExpr, arg ast.Expr) {
+	// Unwrap &x / *x to the identifier.
+	e := arg
+	for {
+		switch v := e.(type) {
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			goto unwrapped
+		}
+	}
+unwrapped:
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	barrier := firstTerminatorAfter(pass.Info, fn, put.End())
+	var reassignAt token.Pos = token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && n.Pos() > put.End() {
+					if pass.Info.Uses[lid] == obj || pass.Info.Defs[lid] == obj {
+						if reassignAt == token.NoPos || n.Pos() < reassignAt {
+							reassignAt = n.Pos()
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if pass.Info.Uses[n] != obj || n.Pos() <= put.End() {
+				return true
+			}
+			if barrier != token.NoPos && n.Pos() > barrier {
+				return true // control flow diverged before this use
+			}
+			if reassignAt != token.NoPos && n.Pos() > reassignAt {
+				return true // a fresh value was assigned; the pooled one is gone
+			}
+			// Skip the reassignment's own LHS mention.
+			if n.Pos() == reassignAt {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s used after Pool.Put on line %d — once pooled, another goroutine may own it",
+				n.Name, pass.Fset.Position(put.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// firstTerminatorAfter returns the position of the first control-flow
+// terminator (return, branch statement, or panic call) in fn after pos,
+// or NoPos.
+func firstTerminatorAfter(info *types.Info, fn *ast.FuncDecl, pos token.Pos) token.Pos {
+	best := token.NoPos
+	consider := func(p token.Pos) {
+		if p > pos && (best == token.NoPos || p < best) {
+			best = p
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			// The barrier is the terminator's END: uses inside the
+			// terminator itself (`return x.f`) are still sequential
+			// with the Put and must be flagged.
+			consider(n.End())
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					consider(n.End())
+				}
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// carriesRefs reports whether a value of type t can pin other memory
+// while sitting in a pool.
+func carriesRefs(t types.Type) bool {
+	return carriesRefs1(t, 0)
+}
+
+func carriesRefs1(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return true // recursive type: assume the worst
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer:
+		return carriesRefs1(u.Elem(), depth+1)
+	case *types.Array:
+		return carriesRefs1(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRefs1(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	default:
+		return true
+	}
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestPoolhygieneFixture covers both Put checks (missing clear, use
+// after Put) and the negative space: no-reference pooled types,
+// reslice/clear/receive hygiene, early-return branches, whole-variable
+// reassignment, and documented allows.
+func TestPoolhygieneFixture(t *testing.T) {
+	runFixture(t, LoadTypes, "poolhygiene", Poolhygiene())
+}

@@ -1,0 +1,17 @@
+package analysis
+
+// ModulePath is the module this suite is configured for; the layering
+// analyzer uses it to tell module-internal imports from external ones.
+const ModulePath = "repro"
+
+// Suite returns the full reallocvet analyzer set in its default
+// repo configuration: layering over DefaultLayerRules, plus hotpath,
+// poolhygiene, and determinism.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Layering(ModulePath, DefaultLayerRules()),
+		Hotpath(),
+		Poolhygiene(),
+		Determinism(),
+	}
+}

@@ -1,0 +1,44 @@
+// Package det is marked deterministic: every map range must feed a
+// sort or carry an order-insensitivity proof.
+//
+//reallocvet:deterministic
+package det
+
+import "sort"
+
+// Bad leaks map iteration order straight into its output.
+func Bad(m map[string]int, emit func(string)) {
+	for k := range m { // want "iteration order is randomized"
+		emit(k)
+	}
+}
+
+// Sorted uses the canonical collect-then-sort shape: allowed.
+func Sorted(m map[string]int, emit func(string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// Annotated proves its loop commutes.
+func Annotated(m map[string]int) int {
+	total := 0
+	for _, v := range m { //reallocvet:orderinsensitive (sum is commutative)
+		total += v
+	}
+	return total
+}
+
+// SliceRange is not a map range: never flagged.
+func SliceRange(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

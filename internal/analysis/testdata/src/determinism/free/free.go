@@ -1,0 +1,9 @@
+// Package free is NOT marked deterministic, so map ranges are its own
+// business: the analyzer stays quiet here.
+package free
+
+func Walk(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k)
+	}
+}

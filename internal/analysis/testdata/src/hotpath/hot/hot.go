@@ -1,0 +1,36 @@
+// Package hot exercises every construct the hotpath analyzer flags.
+package hot
+
+import (
+	"fmt"
+	"time"
+)
+
+func sink(v any) { _ = v }
+
+//reallocvet:hotpath
+func Bad(names []string, n int, b []byte) string {
+	s := string(b)  // want "conversion copies and allocates"
+	bb := []byte(s) // want "conversion copies and allocates"
+	_ = bb
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	f := func() int { return n } // want "closure captures \"n\""
+	_ = f
+	_ = fmt.Sprint(n)        // want "fmt.Sprint allocates"
+	_ = time.Now()           // want "time.Now in hot path"
+	names = append(names, s) // want "append through names with no visible capacity provisioning"
+	sink(n)                  // want "argument boxes int into interface"
+	var box any
+	box = n // want "assignment boxes int into interface"
+	_ = box
+	_ = any(n) // want "conversion boxes int into interface"
+	return s
+}
+
+//reallocvet:hotpath
+func BadReturn(n int) any {
+	return n // want "return boxes int into interface"
+}

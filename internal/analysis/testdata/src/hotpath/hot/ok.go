@@ -1,0 +1,36 @@
+package hot
+
+import "fmt"
+
+var global int
+
+// Quiet is unannotated: the analyzer must ignore everything in it.
+func Quiet(b []byte) string {
+	m := map[string]int{"x": 1}
+	_ = m
+	_ = fmt.Sprint(len(b))
+	return string(b)
+}
+
+// Allowed is annotated but every construct below is either provisioned,
+// free of captures, stack-allocated, or carries a documented allow.
+//
+//reallocvet:hotpath
+func Allowed(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, 0, n) // make with explicit cap provisions buf
+	}
+	buf = append(buf, n)
+	out := buf[:0]
+	out = append(out, n)                      // out was assigned a reslice: provisioned
+	out = append(out[:0], n)                  // reslice destination is always fine
+	f := func(a, b int) bool { return a < b } // captures nothing: no alloc
+	_ = f
+	g := func() int { return global } // package-level var is not a capture
+	_ = g
+	for _, v := range []int{1, 2} { // ranged literal stays on the stack
+		n += v
+	}
+	_ = fmt.Sprintln("boom") //reallocvet:allow hotpath (demo: documented exception)
+	return out
+}

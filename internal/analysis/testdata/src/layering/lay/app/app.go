@@ -1,0 +1,12 @@
+// Package app is sanctioned to import lay/dep; stdlib imports are
+// always allowed. No diagnostics expected here.
+package app
+
+import (
+	"fmt"
+
+	"lay/dep"
+)
+
+// Use keeps the imports referenced.
+func Use() { fmt.Sprint(dep.V) }

@@ -1,0 +1,5 @@
+// Package dep is a stdlib-only leaf in the fixture layer table.
+package dep
+
+// V exists so other fixture packages have something to import.
+var V = 1

@@ -1,0 +1,9 @@
+// Package leaf is declared stdlib-only in the fixture rules, so both
+// of its imports are violations. The tree loads in LoadSyntax mode, so
+// the external import does not need to resolve.
+package leaf
+
+import (
+	_ "github.com/evil/mod" // want "imports external module github.com/evil/mod"
+	_ "lay/dep"             // want "not in its sanctioned layer set"
+)

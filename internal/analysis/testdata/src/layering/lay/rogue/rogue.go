@@ -1,0 +1,3 @@
+// Package rogue has no entry in the fixture rules table: every package
+// must declare its layer before it builds.
+package rogue // want "no layering rule"

@@ -1,0 +1,60 @@
+package pool
+
+import "sync"
+
+type counters struct{ a, b int64 }
+
+var cp = sync.Pool{New: func() any { return new(counters) }}
+var bufp = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+var chp = sync.Pool{New: func() any { return make(chan int, 1) }}
+
+// counters carry no references: no clear required.
+func putCounters(c *counters) {
+	cp.Put(c)
+}
+
+// A reslice assignment into the pooled value counts as clearing.
+func putCleared(b *[]byte) {
+	*b = (*b)[:0]
+	bufp.Put(b)
+}
+
+// The clear builtin on a field counts too.
+func putClearBuiltin(s *scratch) {
+	clear(s.names)
+	s.names = s.names[:0]
+	p.Put(s)
+}
+
+// A receive drains the channel before pooling it.
+func putDrained(ch chan int) int {
+	v := <-ch
+	chp.Put(ch)
+	return v
+}
+
+// A Put on an early-return branch is not sequential with the code after
+// the branch: the second Put and the return are a different path.
+func putEarlyReturn(ch chan int, ok bool) int {
+	v := <-ch
+	if !ok {
+		chp.Put(ch)
+		return 0
+	}
+	chp.Put(ch)
+	return v
+}
+
+// Reassigning the whole variable after Put makes later uses fine: they
+// see the fresh value, not the pooled one.
+func putReassign(b *[]byte) int {
+	*b = (*b)[:0]
+	bufp.Put(b)
+	b = new([]byte)
+	return len(*b)
+}
+
+// An allow annotation documents a deliberate exception.
+func putAllowed(s *scratch) {
+	p.Put(s) //reallocvet:allow poolhygiene (demo: caller proves s is already clean)
+}

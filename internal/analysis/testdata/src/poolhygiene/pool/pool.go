@@ -1,0 +1,19 @@
+// Package pool exercises the poolhygiene analyzer: Put without a
+// visible clear, and use after Put.
+package pool
+
+import "sync"
+
+type scratch struct{ names []string }
+
+var p = sync.Pool{New: func() any { return new(scratch) }}
+
+func badPut(s *scratch) {
+	p.Put(s) // want "without a visible prior clear"
+}
+
+func useAfter(s *scratch) int {
+	s.names = s.names[:0]
+	p.Put(s)
+	return len(s.names) // want "used after Pool.Put"
+}

@@ -366,6 +366,8 @@ func (s *Scheduler) Insert(j jobs.Job) (metrics.Cost, error) {
 // passed the static admission checks (well-formed, aligned, not a
 // duplicate, under the interval cap). It is the execution half of
 // Insert, shared with the batch path.
+//
+//reallocvet:hotpath
 func (s *Scheduler) insertPrevalidated(j jobs.Job) (metrics.Cost, error) {
 	js := s.takeJobState()
 	*js = jobState{name: j.Name, id: s.names.Intern(j.Name), key: keyOf(j.Window), level: align.LevelOfSpan(j.Window.Span())}
@@ -384,7 +386,7 @@ func (s *Scheduler) insertPrevalidated(j jobs.Job) (metrics.Cost, error) {
 		// inconsistent schedule. (Failures only occur on instances that
 		// are not sufficiently underallocated. The interned ID is not
 		// released: a poisoned scheduler serves nothing anyway.)
-		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed insert of %q: %w", j.Name, err)
+		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed insert of %q: %w", j.Name, err) //reallocvet:allow hotpath (poison path: the scheduler is already lost; the post-mortem may allocate)
 		return s.cost, err
 	}
 	s.registerJob(js)
@@ -410,6 +412,8 @@ func (s *Scheduler) Delete(name string) (metrics.Cost, error) {
 
 // deletePrevalidated runs the delete machinery for an active job state.
 // It is the execution half of Delete, shared with the batch path.
+//
+//reallocvet:hotpath
 func (s *Scheduler) deletePrevalidated(j *jobState) (metrics.Cost, error) {
 	s.cost = metrics.Cost{}
 	s.levelCost = [align.NumLevels]int{}
@@ -420,7 +424,7 @@ func (s *Scheduler) deletePrevalidated(j *jobState) (metrics.Cost, error) {
 		err = s.reservedDelete(j)
 	}
 	if err != nil {
-		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", j.name, err)
+		s.poisoned = fmt.Errorf("core: scheduler poisoned by failed delete of %q: %w", j.name, err) //reallocvet:allow hotpath (poison path: the scheduler is already lost; the post-mortem may allocate)
 		return s.cost, err
 	}
 	s.releaseJob(j)
@@ -432,6 +436,8 @@ func (s *Scheduler) deletePrevalidated(j *jobState) (metrics.Cost, error) {
 // ---------------------------------------------------------------------
 
 // reservedInsert implements the insert path of Figure 1 for levels >= 1.
+//
+//reallocvet:hotpath
 func (s *Scheduler) reservedInsert(j *jobState) error {
 	ws, err := s.ensureWindow(j.key)
 	if err != nil {
@@ -449,7 +455,7 @@ func (s *Scheduler) reservedInsert(j *jobState) error {
 	for _, idx := range []int64{r, r + 1} {
 		iv := s.ivs[s.intervalKeyAt(ws.level, ws.key.start+idx*align.IntervalSpan(ws.level))]
 		if iv == nil {
-			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window())
+			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window()) //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 		}
 		if err := s.addReservation(iv, ws); err != nil {
 			return err
@@ -459,15 +465,17 @@ func (s *Scheduler) reservedInsert(j *jobState) error {
 }
 
 // reservedDelete removes a level >= 1 job and its two newest reservations.
+//
+//reallocvet:hotpath
 func (s *Scheduler) reservedDelete(j *jobState) error {
 	ws := s.windows[j.key]
 	if ws == nil {
-		return fmt.Errorf("core: window state missing for %v", j.key.window())
+		return fmt.Errorf("core: window state missing for %v", j.key.window()) //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 	}
 	slot := j.slot
 	delete(s.slots, slot)
 	if ws.fulfilled[slot] != j.id {
-		return fmt.Errorf("core: job %q at slot %d not backed by a fulfilled reservation", j.name, slot)
+		return fmt.Errorf("core: job %q at slot %d not backed by a fulfilled reservation", j.name, slot) //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 	}
 	ws.fulfilled[slot] = ident.None // the reservation stays fulfilled, now job-free
 	// The slot is no longer occupied by a level-l job: higher-level
@@ -481,7 +489,7 @@ func (s *Scheduler) reservedDelete(j *jobState) error {
 	for _, idx := range []int64{r + 1, r} {
 		iv := s.ivs[s.intervalKeyAt(ws.level, ws.key.start+idx*align.IntervalSpan(ws.level))]
 		if iv == nil {
-			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window())
+			return fmt.Errorf("core: interval %d of window %v not materialized", idx, ws.key.window()) //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 		}
 		if err := s.removeReservation(iv, ws); err != nil {
 			return err
@@ -493,18 +501,20 @@ func (s *Scheduler) reservedDelete(j *jobState) error {
 // place implements PLACE (Figure 1 lines 15-23): put the job in a
 // job-free fulfilled slot of its window, shrink higher allowances, and
 // cascade any displaced higher-level job.
+//
+//reallocvet:hotpath
 func (s *Scheduler) place(j *jobState) error {
 	cur := j
 	for {
 		ws := s.windows[cur.key]
 		if ws == nil {
-			return fmt.Errorf("core: window state missing for %v", cur.key.window())
+			return fmt.Errorf("core: window state missing for %v", cur.key.window()) //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 		}
 		slot, ok := s.pickFulfilledSlot(ws)
 		if !ok {
-			return &sched.InfeasibleError{
+			return &sched.InfeasibleError{ //reallocvet:allow hotpath (infeasible-rejection path, off the steady-state hot path)
 				Req:    jobs.Request{Kind: jobs.Insert, Name: cur.name, Window: cur.window()},
-				Detail: fmt.Sprintf("window %v has no job-free fulfilled reservation (Lemma 8 requires 8-underallocation)", cur.key.window()),
+				Detail: fmt.Sprintf("window %v has no job-free fulfilled reservation (Lemma 8 requires 8-underallocation)", cur.key.window()), //reallocvet:allow hotpath (infeasible-rejection path, off the steady-state hot path)
 			}
 		}
 		displaced := s.slots[slot] // nil, or a strictly higher-level job
@@ -517,7 +527,7 @@ func (s *Scheduler) place(j *jobState) error {
 		hLevel := topLevel + 1
 		if displaced != nil {
 			if displaced.level <= cur.level {
-				return fmt.Errorf("core: fulfilled slot %d of %v held level-%d job %q (pecking order violated)",
+				return fmt.Errorf("core: fulfilled slot %d of %v held level-%d job %q (pecking order violated)", //reallocvet:allow hotpath (corruption guard: unreachable on a consistent schedule)
 					slot, cur.key.window(), displaced.level, displaced.name)
 			}
 			hLevel = displaced.level
@@ -947,6 +957,8 @@ func (s *Scheduler) getInterval(lvl int, start Time) (*interval, error) {
 // among base jobs; only the cascade's final placement consumes a new slot,
 // so exactly one higher-level allowance shrink (and at most one displaced
 // higher-level job) results.
+//
+//reallocvet:hotpath
 func (s *Scheduler) baseInsert(j *jobState) error {
 	cur := j
 	for {
@@ -1001,9 +1013,9 @@ func (s *Scheduler) baseInsert(j *jobState) error {
 			return s.place(displaced)
 		}
 		if victim == nil {
-			return &sched.InfeasibleError{
+			return &sched.InfeasibleError{ //reallocvet:allow hotpath (infeasible-rejection path, off the steady-state hot path)
 				Req:    jobs.Request{Kind: jobs.Insert, Name: cur.name, Window: cur.window()},
-				Detail: fmt.Sprintf("base window %v fully occupied by equal-or-shorter spans", w),
+				Detail: fmt.Sprintf("base window %v fully occupied by equal-or-shorter spans", w), //reallocvet:allow hotpath (infeasible-rejection path, off the steady-state hot path)
 			}
 		}
 		// Swap with the longer-span base job: the set of base-occupied
@@ -1018,6 +1030,8 @@ func (s *Scheduler) baseInsert(j *jobState) error {
 }
 
 // baseDelete removes a base-level job, growing higher allowances.
+//
+//reallocvet:hotpath
 func (s *Scheduler) baseDelete(j *jobState) {
 	delete(s.slots, j.slot)
 	s.growAbove(j.slot, 0)

@@ -83,6 +83,8 @@ func bucketHigh(i int) int64 {
 
 // Record adds one observation. It is safe for any number of concurrent
 // callers and performs no allocation — suitable for request hot paths.
+//
+//reallocvet:hotpath
 func (h *Histogram) Record(v int64) {
 	h.counts[bucketOf(v)].Add(1)
 	h.count.Add(1)
@@ -100,6 +102,8 @@ func (h *Histogram) Record(v int64) {
 // RecordN adds n observations of the same value (a batch of requests
 // served in one sub-batch shares one enqueue-to-served latency). Like
 // Record it is concurrent-safe and allocation-free.
+//
+//reallocvet:hotpath
 func (h *Histogram) RecordN(v int64, n uint64) {
 	if n == 0 {
 		return

@@ -97,6 +97,8 @@ func (t *Table) stripeFor(name string) (*stripe, uint32) {
 
 // Intern returns the ID bound to name, issuing one (free list first)
 // when the name is new.
+//
+//reallocvet:hotpath
 func (t *Table) Intern(name string) ID {
 	st, si := t.stripeFor(name)
 	st.mu.RLock()
@@ -116,13 +118,15 @@ func (t *Table) Intern(name string) ID {
 		st.names[slot] = name
 	} else {
 		slot = uint32(len(st.names))
-		st.names = append(st.names, name)
+		st.names = append(st.names, name) //reallocvet:allow hotpath (amortized growth: steady state reuses free-list slots)
 	}
 	st.byName[name] = slot
 	return t.id(slot, si)
 }
 
 // Get returns the ID bound to name without interning.
+//
+//reallocvet:hotpath
 func (t *Table) Get(name string) (ID, bool) {
 	st, si := t.stripeFor(name)
 	st.mu.RLock()
@@ -135,6 +139,8 @@ func (t *Table) Get(name string) (ID, bool) {
 }
 
 // Name returns the name bound to id, or "" when id is None or unbound.
+//
+//reallocvet:hotpath
 func (t *Table) Name(id ID) string {
 	if id == None {
 		return ""
@@ -152,6 +158,8 @@ func (t *Table) Name(id ID) string {
 // Release frees the binding of id and recycles it. Releasing None or an
 // unbound ID panics: the schedulers release exactly once per intern, so
 // a double release is a bookkeeping bug worth crashing on.
+//
+//reallocvet:hotpath
 func (t *Table) Release(id ID) {
 	if id == None {
 		panic("ident: release of None")
@@ -164,8 +172,8 @@ func (t *Table) Release(id ID) {
 		panic("ident: release of unbound ID")
 	}
 	delete(st.byName, st.names[slot])
-	st.names[slot] = "" // drop the string reference
-	st.free = append(st.free, slot)
+	st.names[slot] = ""             // drop the string reference
+	st.free = append(st.free, slot) //reallocvet:allow hotpath (amortized growth: the free list reaches its high-water mark and stops growing)
 }
 
 // Len returns the number of bound names.

@@ -256,7 +256,7 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 			}
 		}
 	}
-	for mi := range needRecover {
+	for mi := range needRecover { //reallocvet:orderinsensitive (machine rebuilds are independent: each touches only its own machine state)
 		if rerr := s.recoverMachine(mi); rerr != nil {
 			// Surface the rebuild failure on the first affected request.
 			for k, op := range ops {
@@ -267,7 +267,7 @@ func (s *Scheduler) foldPlan(ops []planOp, opCost []metrics.Cost, opErr []error,
 			}
 		}
 	}
-	for key := range touched {
+	for key := range touched { //reallocvet:orderinsensitive (settleSkew is per-window bookkeeping; windows are independent)
 		s.settleSkew(key)
 	}
 }
@@ -347,7 +347,7 @@ func (b *batchSim) setsFor(key winKey) []stringSet {
 	for i := range sets {
 		sets[i] = make(stringSet)
 		if i < len(live) {
-			for id := range live[i] {
+			for id := range live[i] { //reallocvet:orderinsensitive (pure set copy into a map; no order-dependent effect)
 				sets[i][b.s.names.Name(id)] = struct{}{}
 			}
 		}

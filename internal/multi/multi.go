@@ -24,6 +24,8 @@
 // one migration at a time — and RemoveMachines drains the last n
 // machines, re-placing each drained job on a surviving machine (one
 // migration each) or evicting it if no machine can take it.
+//
+//reallocvet:deterministic
 package multi
 
 import (
@@ -138,7 +140,7 @@ func (s *Scheduler) Jobs() []jobs.Job {
 func (s *Scheduler) Assignment() jobs.Assignment {
 	out := make(jobs.Assignment, s.names.Len())
 	for i, m := range s.machines {
-		for name, p := range m.Assignment() {
+		for name, p := range m.Assignment() { //reallocvet:orderinsensitive (merge keyed by unique job name; validation reports any violation)
 			out[name] = jobs.Placement{Machine: i, Slot: p.Slot}
 		}
 	}
@@ -256,7 +258,7 @@ func (s *Scheduler) AddMachines(n int) error {
 	for i := 0; i < n; i++ {
 		s.machines = append(s.machines, s.factory())
 	}
-	for key, sets := range s.perWin {
+	for key, sets := range s.perWin { //reallocvet:orderinsensitive (per-window skew bookkeeping; windows are independent)
 		for len(sets) < len(s.machines) {
 			sets = append(sets, make(idSet))
 		}
@@ -324,7 +326,7 @@ func (s *Scheduler) RemoveMachines(n int) (metrics.Cost, []jobs.Job, error) {
 		sched.Recycle(m) // drained machines donate their structures
 	}
 	s.machines = s.machines[:keep]
-	for key, sets := range s.perWin {
+	for key, sets := range s.perWin { //reallocvet:orderinsensitive (per-window skew bookkeeping; windows are independent)
 		if len(sets) > keep {
 			s.perWin[key] = sets[:keep]
 		}
@@ -458,7 +460,7 @@ func (s *Scheduler) anyJobOn(key winKey, idx int) (string, ident.ID, bool) {
 		return "", ident.None, false
 	}
 	best, bestID := "", ident.None
-	for id := range sets[idx] {
+	for id := range sets[idx] { //reallocvet:orderinsensitive (min scan: computes the lexicographic minimum, order-free by construction)
 		if name := s.names.Name(id); bestID == ident.None || name < best {
 			best, bestID = name, id
 		}
@@ -495,7 +497,7 @@ func (s *Scheduler) SelfCheck() error {
 	if fail != nil {
 		return fail
 	}
-	for key, per := range recount {
+	for key, per := range recount { //reallocvet:orderinsensitive (validation: any violation fails the check; report order is immaterial)
 		sets := s.perWin[key]
 		for i, c := range per {
 			if tracked := s.count(sets, i); tracked != c {
@@ -514,7 +516,7 @@ func (s *Scheduler) SelfCheck() error {
 	}
 	// Inner schedulers must agree with our routing.
 	for i, m := range s.machines {
-		for name := range m.Assignment() {
+		for name := range m.Assignment() { //reallocvet:orderinsensitive (merge keyed by unique job name; validation reports any violation)
 			_, idx, ok := s.lookup(name)
 			if !ok || idx != i {
 				return fmt.Errorf("multi: job %q on machine %d, routed to %d (tracked=%v)", name, i, idx, ok)

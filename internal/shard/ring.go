@@ -87,6 +87,8 @@ func newRing(want int) *ring {
 
 // push enqueues t, blocking while the ring is full (backpressure). It
 // returns false only when the ring is closed.
+//
+//reallocvet:hotpath
 func (r *ring) push(t task) bool {
 	for {
 		if r.closed.Load() {
@@ -135,6 +137,8 @@ func (r *ring) waitSpace() {
 }
 
 // pop removes the next task without blocking. Single consumer only.
+//
+//reallocvet:hotpath
 func (r *ring) pop() (task, bool) {
 	pos := r.head.Load()
 	s := &r.slots[pos&r.mask]
@@ -156,6 +160,8 @@ func (r *ring) pop() (task, bool) {
 // popWait removes the next task, parking while the ring is empty. It
 // returns ok=false only when the ring is closed AND fully drained —
 // every push that returned true is handed to the consumer first.
+//
+//reallocvet:hotpath
 func (r *ring) popWait() (task, bool) {
 	for {
 		if t, ok := r.pop(); ok {

@@ -31,6 +31,8 @@
 // underallocation is only enforced shard-locally, which is why overflow
 // routing exists. Report exposes the per-shard cost breakdown so callers
 // can watch the balance.
+//
+//reallocvet:deterministic
 package shard
 
 import (
@@ -327,6 +329,7 @@ func (w *worker) run() {
 	}
 }
 
+//reallocvet:hotpath
 func (w *worker) exec(t task) {
 	if t.ctrl != nil {
 		t.ctrl(w.inner, &w.stats)
@@ -401,6 +404,8 @@ func (s *Scheduler) trackedID(name string) (ident.ID, int, bool) {
 
 // send enqueues a task on shard i, blocking when the shard's ring is
 // full (backpressure). It fails with ErrClosed after Close.
+//
+//reallocvet:hotpath
 func (s *Scheduler) send(i int, t task) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
@@ -903,7 +908,7 @@ func (s *Scheduler) Snapshot() Snapshot {
 		base := s.workers[i].base
 		snap.ShardMachines[i] = int(s.workers[i].machines.Load())
 		snap.Jobs = append(snap.Jobs, p.js...)
-		for name, pl := range p.asn {
+		for name, pl := range p.asn { //reallocvet:orderinsensitive (merge into the snapshot map; job names are unique across shards)
 			snap.Assignment[name] = jobs.Placement{Machine: base + pl.Machine, Slot: pl.Slot}
 		}
 	}

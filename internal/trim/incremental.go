@@ -90,20 +90,25 @@ func (s *Incremental) Transitions() int { return s.transitions }
 // InTransition reports whether an old schedule is still draining.
 func (s *Incremental) InTransition() bool { return s.pending != nil }
 
-// Jobs returns the active jobs with their original windows.
+// Jobs returns the active jobs with their original windows, sorted by
+// name: every other scheduler's Jobs() is deterministic (core iterates
+// its ID table, multi and trim their interners), and an unsorted map
+// walk here was the one snapshot that varied run to run — found by the
+// determinism analyzer.
 func (s *Incremental) Jobs() []jobs.Job {
 	out := make([]jobs.Job, 0, len(s.originals))
 	for name, w := range s.originals {
 		out = append(out, jobs.Job{Name: name, Window: w})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Assignment maps every virtual placement back to real slots (2v + p).
 func (s *Incremental) Assignment() jobs.Assignment {
 	out := make(jobs.Assignment, len(s.originals))
-	for inner, p := range s.parities() {
-		for name, pl := range inner.Assignment() {
+	for inner, p := range s.parities() { //reallocvet:orderinsensitive (assignment merge keyed by unique job name)
+		for name, pl := range inner.Assignment() { //reallocvet:orderinsensitive (assignment merge keyed by unique job name)
 			out[name] = jobs.Placement{Machine: 0, Slot: 2*pl.Slot + p}
 		}
 	}
@@ -337,7 +342,7 @@ func (s *Incremental) recoverInner(target sched.Scheduler, parity int64) error {
 			return err
 		}
 	}
-	for name, inner := range s.loc {
+	for name, inner := range s.loc { //reallocvet:orderinsensitive (per-entry pointer rewrite; entries are independent)
 		if inner == target {
 			s.loc[name] = fresh
 		}
@@ -392,7 +397,7 @@ func (s *Incremental) SelfCheck() error {
 		return fmt.Errorf("trim: inners hold %d jobs, wrapper tracks %d", total, len(s.originals))
 	}
 	asn := s.Assignment()
-	for name, orig := range s.originals {
+	for name, orig := range s.originals { //reallocvet:orderinsensitive (validation: any violation fails the check; report order is immaterial)
 		p, ok := asn[name]
 		if !ok {
 			return fmt.Errorf("trim: job %q missing from assignment", name)
@@ -412,7 +417,7 @@ func (s *Incremental) SelfCheck() error {
 	// No slot collisions across parities is implied by parity discipline;
 	// verify anyway.
 	seen := make(map[int64]string, len(asn))
-	for name, p := range asn {
+	for name, p := range asn { //reallocvet:orderinsensitive (validation: any violation fails the check; report order is immaterial)
 		if prev, clash := seen[p.Slot]; clash {
 			return fmt.Errorf("trim: jobs %q and %q share real slot %d", prev, name, p.Slot)
 		}

@@ -12,6 +12,8 @@
 // Trimming makes the reallocation cost of the inner scheduler a function
 // of log*(n) rather than log*(Δ): with windows capped at O(γ n*), the
 // number of active levels is O(log* n).
+//
+//reallocvet:deterministic
 package trim
 
 import (

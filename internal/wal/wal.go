@@ -1,3 +1,4 @@
+//reallocvet:deterministic
 package wal
 
 import (
