@@ -1,0 +1,392 @@
+// Package client is the Go client for reallocd, the repro network
+// front-end. One Client is one connection, bound to one tenant at
+// Dial time; it is safe for concurrent use and pipelines requests —
+// many submits can be in flight before the first ack returns.
+//
+// Synchronous helpers (Submit, Batch, Drain, Snapshot, Resize) block
+// for their ack. SubmitAsync returns a Pending handle so open-loop
+// callers can keep the pipe full; admission pushback arrives as
+// ErrOverload, deadline expiry as ErrDeadline — both are per-request
+// verdicts, the connection stays healthy. Err frames and transport
+// failures are connection-fatal: every outstanding and future call
+// fails with the same error.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/wire"
+)
+
+// Sentinel errors for per-request server verdicts. All are wrapped
+// with server detail where available; match with errors.Is.
+var (
+	// ErrOverload: the tenant's inflight budget was exhausted; back
+	// off and retry.
+	ErrOverload = wire.ErrOverload
+	// ErrDeadline: the request's deadline passed before it executed;
+	// it mutated nothing.
+	ErrDeadline = errors.New("client: request deadline exceeded")
+	// ErrInfeasible: the request was rejected by the scheduler as
+	// infeasible.
+	ErrInfeasible = errors.New("client: request infeasible")
+	// ErrDuplicate: insert of a name that is already scheduled.
+	ErrDuplicate = errors.New("client: duplicate job")
+	// ErrUnknownJob: delete of a name that is not scheduled.
+	ErrUnknownJob = errors.New("client: unknown job")
+	// ErrClosed: the server (or this client) is shut down.
+	ErrClosed = errors.New("client: connection closed")
+	// ErrBadRequest: the server rejected the request as malformed.
+	ErrBadRequest = errors.New("client: bad request")
+)
+
+func codeErr(code wire.Code, detail string) error {
+	var base error
+	switch code {
+	case wire.CodeOK:
+		return nil
+	case wire.CodeOverload:
+		return ErrOverload
+	case wire.CodeDeadline:
+		return ErrDeadline
+	case wire.CodeInfeasible:
+		base = ErrInfeasible
+	case wire.CodeDuplicate:
+		base = ErrDuplicate
+	case wire.CodeUnknownJob:
+		base = ErrUnknownJob
+	case wire.CodeClosed:
+		return ErrClosed
+	case wire.CodeBadRequest:
+		base = ErrBadRequest
+	default:
+		base = fmt.Errorf("client: server error (code %d)", code)
+	}
+	if detail == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, detail)
+}
+
+// Snapshot is a consistent view of the tenant's schedule.
+type Snapshot struct {
+	Machines int
+	Jobs     []wire.PlacedJob
+}
+
+// Client is one tenant-bound connection to a reallocd server.
+type Client struct {
+	nc               net.Conn
+	tenant           string
+	shards, machines int
+
+	// wmu serializes the write side (frame encode + bufio flush) and
+	// ID allocation.
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	wbuf   []byte
+	nextID uint64
+
+	// mu guards the demux table and the sticky fatal error.
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	err     error
+	closed  bool
+	rdone   chan struct{}
+}
+
+// Dial connects to a reallocd server and performs the Hello/Welcome
+// handshake for the given tenant.
+func Dial(addr, tenant string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		tenant:  tenant,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint64]chan wire.Frame),
+		rdone:   make(chan struct{}),
+	}
+	hello := wire.Frame{Kind: wire.KindHello, Version: wire.Version, Tenant: tenant}
+	c.wmu.Lock()
+	c.wbuf, err = wire.WriteFrame(c.bw, c.wbuf, &hello)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	welcome, _, err := wire.ReadFrame(nc, nil)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	switch welcome.Kind {
+	case wire.KindWelcome:
+	case wire.KindErr:
+		nc.Close()
+		return nil, codeErr(welcome.Code, welcome.Detail)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %s frame", welcome.Kind)
+	}
+	c.shards, c.machines = welcome.Shards, welcome.Machines
+	go c.readLoop()
+	return c, nil
+}
+
+// Tenant returns the tenant this connection is bound to.
+func (c *Client) Tenant() string { return c.tenant }
+
+// Shards reports the tenant scheduler's shard count (from Welcome).
+func (c *Client) Shards() int { return c.shards }
+
+// Machines reports the machine pool size at handshake time.
+func (c *Client) Machines() int { return c.machines }
+
+// readLoop demultiplexes acks to their waiting calls by request ID.
+func (c *Client) readLoop() {
+	defer close(c.rdone)
+	var buf []byte
+	for {
+		f, b, err := wire.ReadFrame(c.nc, buf)
+		buf = b
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		if f.Kind == wire.KindErr {
+			// Connection-fatal server verdict.
+			c.fail(codeErr(f.Code, f.Detail))
+			c.nc.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered: never blocks
+		}
+	}
+}
+
+// fail poisons the client: every outstanding and future call returns
+// err (the first fatal error sticks).
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// register allocates an ID and its ack channel. The caller must hold
+// wmu (register and write must be atomic so acks can't outrun the
+// table entry — they can't anyway, but IDs must be written in
+// allocation order for debuggability).
+func (c *Client) register() (uint64, chan wire.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Frame, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// call sends f (assigning its ID) and returns the ack channel.
+func (c *Client) call(f *wire.Frame) (chan wire.Frame, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	f.ID = id
+	c.wbuf, err = wire.WriteFrame(c.bw, c.wbuf, f)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		err = fmt.Errorf("%w: %v", ErrClosed, err)
+		c.fail(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Pending is an in-flight request handle from SubmitAsync.
+type Pending struct {
+	c  *Client
+	ch chan wire.Frame
+}
+
+// Wait blocks for the ack and returns the request's verdict.
+func (p *Pending) Wait() error {
+	f, ok := <-p.ch
+	if !ok {
+		p.c.mu.Lock()
+		err := p.c.err
+		p.c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	return codeErr(f.Code, f.Detail)
+}
+
+// SubmitAsync sends one request without waiting for its ack. A zero
+// timeout means no deadline. Acks may settle in any order; each
+// Pending resolves independently.
+func (c *Client) SubmitAsync(r jobs.Request, timeout time.Duration) (*Pending, error) {
+	f := wire.Frame{Kind: wire.KindSubmit, Req: r, DeadlineUS: deadlineUS(timeout)}
+	ch, err := c.call(&f)
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{c: c, ch: ch}, nil
+}
+
+// Submit sends one request and waits for its verdict.
+func (c *Client) Submit(r jobs.Request) error { return c.SubmitDeadline(r, 0) }
+
+// SubmitDeadline sends one request with a deadline and waits for its
+// verdict. ErrDeadline means the request expired un-executed.
+func (c *Client) SubmitDeadline(r jobs.Request, timeout time.Duration) error {
+	p, err := c.SubmitAsync(r, timeout)
+	if err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// Batch sends a request batch and returns per-request verdicts
+// (nil for success), index-aligned with reqs. The returned error
+// covers transport failure only.
+func (c *Client) Batch(reqs []jobs.Request, timeout time.Duration) ([]error, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	f := wire.Frame{Kind: wire.KindBatch, Batch: reqs, DeadlineUS: deadlineUS(timeout)}
+	ch, err := c.call(&f)
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := <-ch
+	if !ok {
+		return nil, c.stickyErr()
+	}
+	if len(ack.Codes) != len(reqs) {
+		return nil, fmt.Errorf("client: batch ack holds %d codes for %d requests", len(ack.Codes), len(reqs))
+	}
+	errs := make([]error, len(reqs))
+	for i, code := range ack.Codes {
+		errs[i] = codeErr(code, "")
+	}
+	return errs, nil
+}
+
+// Drain blocks until everything this tenant had queued before the
+// call has been served, and returns the scheduler's drain verdict.
+func (c *Client) Drain() error {
+	ch, err := c.call(&wire.Frame{Kind: wire.KindDrain})
+	if err != nil {
+		return err
+	}
+	f, ok := <-ch
+	if !ok {
+		return c.stickyErr()
+	}
+	return codeErr(f.Code, f.Detail)
+}
+
+// Snapshot fetches a consistent view of the tenant's schedule.
+func (c *Client) Snapshot() (Snapshot, error) {
+	ch, err := c.call(&wire.Frame{Kind: wire.KindSnapshotReq})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return Snapshot{}, c.stickyErr()
+	}
+	return Snapshot{Machines: f.Machines, Jobs: f.Jobs}, nil
+}
+
+// Resize re-partitions the tenant's machine pool to the given size.
+func (c *Client) Resize(machines int) error {
+	ch, err := c.call(&wire.Frame{Kind: wire.KindResize, Machines: machines})
+	if err != nil {
+		return err
+	}
+	f, ok := <-ch
+	if !ok {
+		return c.stickyErr()
+	}
+	return codeErr(f.Code, f.Detail)
+}
+
+// Close tears down the connection. Outstanding calls fail with
+// ErrClosed. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.rdone
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.nc.Close()
+	<-c.rdone
+	return err
+}
+
+func (c *Client) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+func deadlineUS(timeout time.Duration) uint64 {
+	if timeout <= 0 {
+		return 0
+	}
+	us := timeout / time.Microsecond
+	if us == 0 {
+		us = 1
+	}
+	return uint64(us)
+}

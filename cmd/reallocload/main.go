@@ -1,0 +1,215 @@
+// Command reallocload drives a reallocd server with an open-loop
+// workload and reports coordinated-omission-free latency.
+//
+// Open loop means arrivals follow a fixed schedule (-rate per tenant)
+// regardless of how fast the server acks: request i of a tenant is
+// DUE at start + i/rate, and its latency is measured from that due
+// time — not from the moment the client got around to sending it — so
+// a server stall inflates the tail of every request queued behind it,
+// exactly as real clients would experience it.
+//
+// Each tenant gets one connection and a pipelined submit stream of
+// window-rotating inserts with delete churn. Per-request overload and
+// deadline verdicts are counted, not fatal; protocol errors and lost
+// acks are fatal in -strict mode.
+//
+//	reallocload -addr 127.0.0.1:7411 -tenants 2 -rate 2000 -duration 5s
+//	reallocload ... -deadline 50ms -out BENCH_SERVE.json -strict -maxp99us 50000
+//
+// Exit status: 0 on a clean run; 1 on transport failure; 2 when
+// -strict finds protocol errors or lost acks, or p99 exceeds -maxp99us.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/hdr"
+	"repro/internal/jobs"
+)
+
+// Report is the machine-readable result, shaped like the BENCH_*.json
+// files reallocbench emits.
+type Report struct {
+	Addr          string  `json:"addr"`
+	Tenants       int     `json:"tenants"`
+	RatePerTenant float64 `json:"rate_per_tenant_rps"`
+	DurationSec   float64 `json:"duration_sec"`
+	DeadlineUS    uint64  `json:"deadline_us,omitempty"`
+	Scheduled     int     `json:"scheduled"`
+	Acked         int     `json:"acked"`
+	OK            int     `json:"ok"`
+	Overload      int     `json:"overload"`
+	Deadline      int     `json:"deadline"`
+	Failures      int     `json:"failures"`
+	ProtoErrors   int     `json:"proto_errors"`
+	LostAcks      int     `json:"lost_acks"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P90LatencyUS  float64 `json:"p90_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+	P999LatencyUS float64 `json:"p999_latency_us"`
+	MaxLatencyUS  float64 `json:"max_latency_us"`
+}
+
+type counters struct {
+	scheduled, acked           atomic.Int64
+	ok, overload, dl, failures atomic.Int64
+	protoErrors                atomic.Int64
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7411", "reallocd address")
+		tenants  = flag.Int("tenants", 2, "number of tenants (one connection each)")
+		rate     = flag.Float64("rate", 1000, "open-loop arrival rate per tenant (req/s)")
+		duration = flag.Duration("duration", 5*time.Second, "run length")
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		span     = flag.Int64("span", 4096, "job window span (timeslots)")
+		churn    = flag.Int("churn", 4, "delete every Nth inserted job (0 = never)")
+		out      = flag.String("out", "", "write JSON report to this path")
+		strict   = flag.Bool("strict", false, "exit 2 on protocol errors or lost acks")
+		maxP99US = flag.Float64("maxp99us", 0, "exit 2 if p99 latency exceeds this (µs, 0 = no gate)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "reallocload: ", log.LstdFlags)
+
+	lat := hdr.New()
+	var c counters
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti := 0; ti < *tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			runTenant(logger, fmt.Sprintf("load-%d", ti), *addr, *rate, *duration,
+				*deadline, *span, *churn, lat, &c)
+		}(ti)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap := lat.Snapshot()
+	rep := Report{
+		Addr:          *addr,
+		Tenants:       *tenants,
+		RatePerTenant: *rate,
+		DurationSec:   duration.Seconds(),
+		Scheduled:     int(c.scheduled.Load()),
+		Acked:         int(c.acked.Load()),
+		OK:            int(c.ok.Load()),
+		Overload:      int(c.overload.Load()),
+		Deadline:      int(c.dl.Load()),
+		Failures:      int(c.failures.Load()),
+		ProtoErrors:   int(c.protoErrors.Load()),
+		LostAcks:      int(c.scheduled.Load() - c.acked.Load()),
+		ThroughputRPS: float64(c.acked.Load()) / wall.Seconds(),
+		P50LatencyUS:  float64(snap.Quantile(0.50)) / 1e3,
+		P90LatencyUS:  float64(snap.Quantile(0.90)) / 1e3,
+		P99LatencyUS:  float64(snap.Quantile(0.99)) / 1e3,
+		P999LatencyUS: float64(snap.Quantile(0.999)) / 1e3,
+		MaxLatencyUS:  float64(snap.Max()) / 1e3,
+	}
+	if *deadline > 0 {
+		rep.DeadlineUS = uint64(*deadline / time.Microsecond)
+	}
+
+	logger.Printf("%d scheduled, %d acked (%d ok, %d overload, %d deadline, %d failed), p50=%.0fµs p99=%.0fµs max=%.0fµs",
+		rep.Scheduled, rep.Acked, rep.OK, rep.Overload, rep.Deadline, rep.Failures,
+		rep.P50LatencyUS, rep.P99LatencyUS, rep.MaxLatencyUS)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			logger.Fatalf("marshal: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			logger.Fatalf("write %s: %v", *out, err)
+		}
+		logger.Printf("report: %s", *out)
+	}
+
+	if *strict && (rep.ProtoErrors > 0 || rep.LostAcks > 0) {
+		logger.Printf("STRICT FAIL: %d protocol errors, %d lost acks", rep.ProtoErrors, rep.LostAcks)
+		os.Exit(2)
+	}
+	if *maxP99US > 0 && rep.P99LatencyUS > *maxP99US {
+		logger.Printf("STRICT FAIL: p99 %.0fµs exceeds ceiling %.0fµs", rep.P99LatencyUS, *maxP99US)
+		os.Exit(2)
+	}
+}
+
+// runTenant drives one tenant's open-loop schedule to completion.
+func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, deadline time.Duration,
+	span int64, churn int, lat *hdr.Histogram, c *counters) {
+	cl, err := client.Dial(addr, tenant)
+	if err != nil {
+		logger.Printf("%s: dial: %v", tenant, err)
+		c.protoErrors.Add(1)
+		return
+	}
+	defer cl.Close()
+
+	interval := time.Duration(float64(time.Second) / rate)
+	total := int(duration.Seconds() * rate)
+	start := time.Now()
+	var inner sync.WaitGroup
+	for i := 0; i < total; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		// Open loop: wait for the schedule, never for the server.
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		var req jobs.Request
+		name := fmt.Sprintf("%s-%06d", tenant, i)
+		if churn > 0 && i%churn == churn-1 {
+			req = jobs.DeleteReq(fmt.Sprintf("%s-%06d", tenant, i-1))
+		} else {
+			s := (int64(i) % 16) * span
+			req = jobs.InsertReq(name, s, s+span)
+		}
+		c.scheduled.Add(1)
+		p, err := cl.SubmitAsync(req, deadline)
+		if err != nil {
+			// Connection-fatal: everything after this would fail too.
+			logger.Printf("%s: submit %d: %v", tenant, i, err)
+			c.protoErrors.Add(1)
+			break
+		}
+		inner.Add(1)
+		go func(due time.Time) {
+			defer inner.Done()
+			err := p.Wait()
+			// Latency from the DUE time: coordinated-omission free.
+			lat.Record(int64(time.Since(due)))
+			c.acked.Add(1)
+			switch {
+			case err == nil:
+				c.ok.Add(1)
+			case isVerdict(err, client.ErrOverload):
+				c.overload.Add(1)
+			case isVerdict(err, client.ErrDeadline):
+				c.dl.Add(1)
+			case isVerdict(err, client.ErrDuplicate), isVerdict(err, client.ErrUnknownJob),
+				isVerdict(err, client.ErrInfeasible):
+				c.failures.Add(1) // per-request verdicts, not protocol errors
+			default:
+				c.failures.Add(1)
+				c.protoErrors.Add(1)
+			}
+		}(due)
+	}
+	inner.Wait()
+}
+
+func isVerdict(err, target error) bool {
+	return err != nil && errors.Is(err, target)
+}

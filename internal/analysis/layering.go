@@ -125,6 +125,9 @@ func DefaultLayerRules() map[string]LayerRule {
 		viz       = "repro/internal/viz"
 		sim       = "repro/internal/sim"
 		analysisP = "repro/internal/analysis"
+		wire      = "repro/internal/wire"
+		server    = "repro/internal/server"
+		clientP   = "repro/client"
 		root      = "repro"
 	)
 	leaf := LayerRule{Note: "stdlib-only leaf"}
@@ -170,6 +173,14 @@ func DefaultLayerRules() map[string]LayerRule {
 			metrics, mixed, multi, naive, pma, sched, shard, sized, trim, workload},
 			Note: "the experiment harness may drive every scheduler"},
 
+		// --- serving stack ---
+		wire: {Internal: []string{jobs, wal},
+			Note: "network frames reuse the WAL's request codec: the on-disk format is the wire format"},
+		server: {Internal: []string{jobs, sched, shard, wire},
+			Note: "the multi-tenant front-end drives sharded schedulers; it never touches the public API"},
+		clientP: {Internal: []string{jobs, wire},
+			Note: "the client library speaks frames and the job model only — no scheduler imports"},
+
 		// --- public API and commands ---
 		root: {Internal: []string{alignsch, core, edf, feasible, jobs, metrics, multi, naive, sched, shard, trim, wal},
 			Note: "the public API composes the stacks; internals never import it back"},
@@ -177,6 +188,10 @@ func DefaultLayerRules() map[string]LayerRule {
 		"repro/cmd/reallocsim":   {Internal: []string{sim}},
 		"repro/cmd/realloctrace": {Internal: []string{root, core, edf, naive, sched, stress, trace, wal, workload}},
 		"repro/cmd/reallocvet":   {Internal: []string{analysisP}, Note: "the multichecker wraps the analysis toolkit"},
+		"repro/cmd/reallocd": {Internal: []string{root, server, shard},
+			Note: "the daemon composes public-API schedulers into the server"},
+		"repro/cmd/reallocload": {Internal: []string{clientP, hdr, jobs},
+			Note: "the load generator is a pure client: frames in, histograms out"},
 
 		// --- examples: drive the public API (sizedjobs/quickstart also
 		// demo internal helpers directly) ---
@@ -184,6 +199,7 @@ func DefaultLayerRules() map[string]LayerRule {
 		"repro/examples/clinic":     {Internal: []string{root}},
 		"repro/examples/cloud":      {Internal: []string{root}},
 		"repro/examples/quickstart": {Internal: []string{root, viz}},
+		"repro/examples/server":     {Internal: []string{root, clientP, server}},
 		"repro/examples/sizedjobs":  {Internal: []string{jobs, sized}},
 	}
 }

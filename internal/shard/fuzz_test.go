@@ -197,10 +197,10 @@ func FuzzRing(f *testing.F) {
 				continue
 			}
 			p := int(op >> 5 & 0x3)
-			if !r.push(task{req: jobs.Request{
+			if err := r.push(task{req: jobs.Request{
 				Kind: jobs.RequestKind(p), Window: jobs.Window{Start: jobs.Time(next[p])},
-			}}) {
-				t.Fatal("push failed on open ring")
+			}}); err != nil {
+				t.Fatalf("push failed on open ring: %v", err)
 			}
 			fifo = append(fifo, model{p, next[p]})
 			next[p]++
@@ -225,10 +225,10 @@ func FuzzRing(f *testing.F) {
 			go func(p, n int) {
 				defer wg.Done()
 				for i := 0; i < n; i++ {
-					if !r.push(task{req: jobs.Request{
+					if err := r.push(task{req: jobs.Request{
 						Kind: jobs.RequestKind(p), Window: jobs.Window{Start: jobs.Time(i)},
-					}}) {
-						t.Error("push failed on open ring")
+					}}); err != nil {
+						t.Errorf("push failed on open ring: %v", err)
 						return
 					}
 				}

@@ -13,9 +13,14 @@
 //     only when they observe the flag, so a busy ring never pays for
 //     wakeups.
 //   - full ring: producers register as space waiters and block on a
-//     condvar; the consumer broadcasts only when it frees a slot while
-//     waiters are registered. This preserves the old channel's
-//     backpressure semantics — send blocks, it does not fail.
+//     generation channel (close-and-replace under mu); the consumer
+//     signals only when it frees a slot while waiters are registered.
+//     This preserves the old channel's backpressure semantics — send
+//     blocks — but, unlike a condvar, a channel park composes with
+//     select, so a parked producer also wakes on ring close (returning
+//     ErrClosed) and on its request's deadline (returning
+//     ErrDeadlineExceeded). A condvar has no timed or cancellable
+//     wait; this is why the park is a channel.
 //
 // FIFO order is preserved per ring (the CAS reservation order is the
 // execution order), matching the channel it replaces. close() follows
@@ -27,6 +32,7 @@ package shard
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // slot is one ring cell. seq is the Vyukov sequence: slot k is free for
@@ -50,6 +56,9 @@ type ring struct {
 	head atomic.Uint64
 
 	closed atomic.Bool
+	// closedCh is closed exactly once by close(); parked producers
+	// select on it so shutdown interrupts a full-ring wait.
+	closedCh chan struct{}
 
 	// sleeping is set by the consumer before parking on wake; producers
 	// that observe it post a token (the channel holds at most one — a
@@ -57,11 +66,13 @@ type ring struct {
 	sleeping atomic.Bool
 	wake     chan struct{}
 
-	// Space waiters (producers blocked on a full ring). spaceWaiters is
-	// written under mu; the atomic lets the consumer skip the lock
-	// entirely when nobody waits.
+	// Space waiters (producers blocked on a full ring). space is a
+	// generation channel guarded by mu: waiters grab the current
+	// generation and park on it; the consumer wakes them by closing it
+	// and installing a fresh one. spaceWaiters lets the consumer skip
+	// the lock entirely when nobody waits.
 	mu           sync.Mutex
-	spaceCond    *sync.Cond
+	space        chan struct{}
 	spaceWaiters atomic.Int64
 }
 
@@ -73,12 +84,13 @@ func newRing(want int) *ring {
 		size <<= 1
 	}
 	r := &ring{
-		slots: make([]slot, size),
-		mask:  size - 1,
-		size:  size,
-		wake:  make(chan struct{}, 1),
+		slots:    make([]slot, size),
+		mask:     size - 1,
+		size:     size,
+		wake:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+		space:    make(chan struct{}),
 	}
-	r.spaceCond = sync.NewCond(&r.mu)
 	for i := range r.slots {
 		r.slots[i].seq.Store(uint64(i))
 	}
@@ -86,13 +98,16 @@ func newRing(want int) *ring {
 }
 
 // push enqueues t, blocking while the ring is full (backpressure). It
-// returns false only when the ring is closed.
+// returns ErrClosed when the ring is (or becomes, while parked)
+// closed, and ErrDeadlineExceeded when t carries a deadline that
+// expires while parked on a full ring. A nil return means the task is
+// published and will be handed to the consumer.
 //
 //reallocvet:hotpath
-func (r *ring) push(t task) bool {
+func (r *ring) push(t task) error {
 	for {
 		if r.closed.Load() {
-			return false
+			return ErrClosed
 		}
 		pos := r.tail.Load()
 		s := &r.slots[pos&r.mask]
@@ -109,11 +124,14 @@ func (r *ring) push(t task) bool {
 				default:
 				}
 			}
-			return true
+			return nil
 		case seq < pos:
 			// The consumer has not freed this slot yet: the ring is a
-			// full lap behind. Park until space opens up.
-			r.waitSpace()
+			// full lap behind. Park until space opens up, the ring
+			// closes, or the task's deadline passes.
+			if err := r.waitSpace(t.deadline); err != nil {
+				return err
+			}
 		default:
 			// Another producer claimed pos between our load of tail and
 			// of seq; reload and retry.
@@ -121,19 +139,51 @@ func (r *ring) push(t task) bool {
 	}
 }
 
-// waitSpace parks the producer until the consumer frees a slot (or the
-// ring closes). The full-ring condition is re-checked under mu, and the
-// consumer broadcasts under mu after freeing a slot whenever waiters
-// are registered, so a wakeup cannot be lost between the check and the
-// wait.
-func (r *ring) waitSpace() {
+// waitSpace parks the producer until the consumer frees a slot, the
+// ring closes (ErrClosed), or the deadline — absolute monotonicNS, 0
+// for none — expires (ErrDeadlineExceeded). A nil return is a hint,
+// not a reservation: the caller re-runs the push loop.
+//
+// No lost wakeups: the waiter grabs the current space generation and
+// registers under mu, then re-checks fullness. The consumer frees the
+// slot (head advance) before loading spaceWaiters, both seq-cst — so
+// either the consumer sees the registration and closes the very
+// generation the waiter holds, or the waiter's re-check sees the
+// advanced head and returns without parking.
+func (r *ring) waitSpace(deadline int64) error {
 	r.mu.Lock()
+	ch := r.space
 	r.spaceWaiters.Add(1)
-	for !r.closed.Load() && r.tail.Load()-r.head.Load() >= r.size {
-		r.spaceCond.Wait()
-	}
-	r.spaceWaiters.Add(-1)
 	r.mu.Unlock()
+	defer r.spaceWaiters.Add(-1)
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	if r.tail.Load()-r.head.Load() < r.size {
+		return nil // space opened between the full observation and registration
+	}
+	if deadline == 0 {
+		select {
+		case <-ch:
+			return nil
+		case <-r.closedCh:
+			return ErrClosed
+		}
+	}
+	remain := deadline - monotonicNS()
+	if remain <= 0 {
+		return ErrDeadlineExceeded
+	}
+	timer := time.NewTimer(time.Duration(remain))
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-r.closedCh:
+		return ErrClosed
+	case <-timer.C:
+		return ErrDeadlineExceeded
+	}
 }
 
 // pop removes the next task without blocking. Single consumer only.
@@ -150,11 +200,19 @@ func (r *ring) pop() (task, bool) {
 	s.seq.Store(pos + r.size)
 	r.head.Store(pos + 1)
 	if r.spaceWaiters.Load() > 0 {
-		r.mu.Lock()
-		r.spaceCond.Broadcast()
-		r.mu.Unlock()
+		r.signalSpace()
 	}
 	return t, true
+}
+
+// signalSpace wakes every parked producer by retiring the current
+// space generation. Waiters re-check fullness and re-park on the new
+// generation if they lose the freed slot to a faster producer.
+func (r *ring) signalSpace() {
+	r.mu.Lock()
+	close(r.space)
+	r.space = make(chan struct{})
+	r.mu.Unlock()
 }
 
 // popWait removes the next task, parking while the ring is empty. It
@@ -190,12 +248,14 @@ func (r *ring) popWait() (task, bool) {
 }
 
 // close marks the ring closed and wakes both sides: parked producers
-// fail their push, the parked consumer drains and exits.
+// fail their push with ErrClosed (closedCh reaches every space
+// generation at once), the parked consumer drains and exits. close is
+// idempotent.
 func (r *ring) close() {
-	r.closed.Store(true)
-	r.mu.Lock()
-	r.spaceCond.Broadcast()
-	r.mu.Unlock()
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(r.closedCh)
 	select {
 	case r.wake <- struct{}{}:
 	default:

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,8 +20,8 @@ func TestRingFIFOSingleProducer(t *testing.T) {
 	r := newRing(8)
 	want := []string{"a", "b", "c", "d", "e"}
 	for _, v := range want {
-		if !r.push(numbered(v)) {
-			t.Fatal("push failed on open ring")
+		if err := r.push(numbered(v)); err != nil {
+			t.Fatalf("push failed on open ring: %v", err)
 		}
 	}
 	for _, v := range want {
@@ -84,8 +85,8 @@ func TestRingCloseDrains(t *testing.T) {
 		r.push(numbered(v))
 	}
 	r.close()
-	if r.push(numbered("late")) {
-		t.Fatal("push succeeded on a closed ring")
+	if err := r.push(numbered("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push on a closed ring = %v, want ErrClosed", err)
 	}
 	for _, want := range []string{"a", "b", "c"} {
 		got, ok := r.popWait()
@@ -104,18 +105,93 @@ func TestRingCloseWakesBlockedProducer(t *testing.T) {
 	r := newRing(2)
 	r.push(numbered("1"))
 	r.push(numbered("2"))
-	res := make(chan bool)
+	res := make(chan error)
 	go func() { res <- r.push(numbered("3")) }()
 	time.Sleep(10 * time.Millisecond) // let the producer park
 	r.close()
 	select {
-	case ok := <-res:
-		if ok {
-			t.Fatal("push on closed ring reported success")
+	case err := <-res:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("push on closed ring = %v, want ErrClosed", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("blocked producer not woken by close")
 	}
+}
+
+// TestRingDeadlineWhileParked: a producer parked on a full ring whose
+// task deadline expires gives up with ErrDeadlineExceeded instead of
+// blocking past it — and the ring's contents are untouched.
+func TestRingDeadlineWhileParked(t *testing.T) {
+	r := newRing(2)
+	r.push(numbered("1"))
+	r.push(numbered("2"))
+
+	late := numbered("late")
+	late.deadline = monotonicNS() + int64(30*time.Millisecond)
+	res := make(chan error)
+	go func() { res <- r.push(late) }()
+	select {
+	case err := <-res:
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("push past deadline = %v, want ErrDeadlineExceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked producer not woken by its deadline")
+	}
+
+	// An already-expired deadline fails without parking at all.
+	late.deadline = monotonicNS() - 1
+	if err := r.push(late); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("push with expired deadline = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// The expired pushes published nothing; the ring still serves the
+	// earlier tasks and accepts new ones once drained.
+	for _, want := range []string{"1", "2"} {
+		if got, ok := r.pop(); !ok || got.req.Name != want {
+			t.Fatalf("pop = %q/%v, want %q", got.req.Name, ok, want)
+		}
+	}
+	ok := numbered("after")
+	ok.deadline = monotonicNS() + int64(time.Second)
+	if err := r.push(ok); err != nil {
+		t.Fatalf("push with future deadline on non-full ring: %v", err)
+	}
+	if got, _ := r.pop(); got.req.Name != "after" {
+		t.Fatalf("pop = %q, want after", got.req.Name)
+	}
+	r.close()
+}
+
+// TestRingDeadlineSurvivesSpaceRace: a parked producer with a deadline
+// that wakes on freed space (not the timer) still completes its push.
+func TestRingDeadlineSurvivesSpaceRace(t *testing.T) {
+	r := newRing(2)
+	r.push(numbered("1"))
+	r.push(numbered("2"))
+	late := numbered("3")
+	late.deadline = monotonicNS() + int64(5*time.Second)
+	res := make(chan error)
+	go func() { res <- r.push(late) }()
+	time.Sleep(10 * time.Millisecond) // let the producer park
+	if got, ok := r.pop(); !ok || got.req.Name != "1" {
+		t.Fatalf("pop = %q/%v, want 1", got.req.Name, ok)
+	}
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("push woken by freed space = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked producer not woken by freed space")
+	}
+	for _, want := range []string{"2", "3"} {
+		if got, ok := r.pop(); !ok || got.req.Name != want {
+			t.Fatalf("pop = %q/%v, want %q", got.req.Name, ok, want)
+		}
+	}
+	r.close()
 }
 
 // TestRingParkUnpark: the consumer parks on an empty ring and a later
@@ -157,10 +233,10 @@ func TestRingMPSCStress(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perP; i++ {
-				if !r.push(task{overflow: p%2 == 0, req: jobs.Request{
+				if err := r.push(task{overflow: p%2 == 0, req: jobs.Request{
 					Kind: jobs.RequestKind(p), Window: jobs.Window{Start: jobs.Time(i)},
-				}}) {
-					t.Error("push failed on open ring")
+				}}); err != nil {
+					t.Errorf("push failed on open ring: %v", err)
 					return
 				}
 			}

@@ -53,6 +53,13 @@ import (
 // ErrClosed reports a request sent to a closed scheduler.
 var ErrClosed = errors.New("shard: scheduler is closed")
 
+// ErrDeadlineExceeded reports a request whose deadline passed before
+// its shard worker executed it — while parked on a full ring, or while
+// queued behind earlier work. Such a request never reaches the inner
+// scheduler, mutates nothing, and (under a WAL) is never logged, so a
+// deadline rejection needs no compensation on either side.
+var ErrDeadlineExceeded = errors.New("shard: request deadline exceeded")
+
 // ErrNotElastic reports a resize against a shard whose inner scheduler
 // does not implement sched.Elastic (or whose wrapper chain bottoms out
 // in a non-elastic scheduler).
@@ -229,7 +236,12 @@ type task struct {
 	// during a pool shrink; it is counted as resize work, not as a
 	// client request.
 	resizeMove bool
-	finish     func(metrics.Cost, error)
+	// deadline is the request's absolute expiry in monotonicNS (0 =
+	// none). It bounds both the full-ring park (push fails with
+	// ErrDeadlineExceeded instead of blocking past it) and queue time
+	// (the worker rejects an expired task instead of executing it).
+	deadline int64
+	finish   func(metrics.Cost, error)
 	// ctrl, when non-nil, runs on the worker goroutine instead of req
 	// (snapshots, self-checks, reports, resizes); ctrlDone signals
 	// completion.
@@ -336,6 +348,16 @@ func (w *worker) exec(t task) {
 		t.ctrlDone.Done()
 		return
 	}
+	if t.deadline != 0 && monotonicNS() > t.deadline {
+		// Expired while queued: reject without touching the inner
+		// scheduler, so the request provably mutated nothing and its
+		// reservation is released by the ordinary failure path.
+		w.stats.Requests++
+		w.stats.Failures++
+		w.lat.Record(monotonicNS() - t.enq)
+		t.finish(metrics.Cost{}, ErrDeadlineExceeded)
+		return
+	}
 	c, err := sched.Apply(w.inner, t.req)
 	if t.resizeMove {
 		// Resize work is accounted separately from client requests.
@@ -403,7 +425,9 @@ func (s *Scheduler) trackedID(name string) (ident.ID, int, bool) {
 }
 
 // send enqueues a task on shard i, blocking when the shard's ring is
-// full (backpressure). It fails with ErrClosed after Close.
+// full (backpressure). It fails with ErrClosed after Close, and with
+// ErrDeadlineExceeded when the task's deadline expires while parked on
+// the full ring.
 //
 //reallocvet:hotpath
 func (s *Scheduler) send(i int, t task) error {
@@ -413,10 +437,7 @@ func (s *Scheduler) send(i int, t task) error {
 		return ErrClosed
 	}
 	t.enq = monotonicNS()
-	if !s.workers[i].ring.push(t) {
-		return ErrClosed
-	}
-	return nil
+	return s.workers[i].ring.push(t)
 }
 
 // epoch anchors the monotonic clock used for dispatch-latency stamps.
@@ -486,14 +507,34 @@ var respPool = sync.Pool{New: func() any { return make(chan response, 1) }}
 // Apply serves one request synchronously: it returns after the owning
 // shard worker has executed the request (including any overflow hop).
 func (s *Scheduler) Apply(r jobs.Request) (metrics.Cost, error) {
+	return s.ApplyDeadline(r, 0)
+}
+
+// ApplyDeadline is Apply with a request deadline: if timeout elapses
+// before a shard worker picks the request up — parked on a full ring,
+// or queued behind earlier work — the request fails with
+// ErrDeadlineExceeded, having mutated nothing. Execution itself is
+// never interrupted: once a worker starts the request it runs to
+// completion, so a nil error always means the job state changed.
+// timeout <= 0 means no deadline.
+func (s *Scheduler) ApplyDeadline(r jobs.Request, timeout time.Duration) (metrics.Cost, error) {
 	ch := respPool.Get().(chan response)
-	if err := s.dispatch(r, func(c metrics.Cost, err error) { ch <- response{c, err} }); err != nil {
+	if err := s.dispatchTimed(r, deadlineFrom(timeout), func(c metrics.Cost, err error) { ch <- response{c, err} }); err != nil {
 		respPool.Put(ch)
 		return metrics.Cost{}, err
 	}
 	resp := <-ch
 	respPool.Put(ch)
 	return resp.cost, resp.err
+}
+
+// deadlineFrom converts a relative timeout to an absolute monotonicNS
+// deadline (0 = none).
+func deadlineFrom(timeout time.Duration) int64 {
+	if timeout <= 0 {
+		return 0
+	}
+	return monotonicNS() + int64(timeout)
 }
 
 // Submit enqueues one request and returns immediately; the result is
@@ -503,8 +544,15 @@ func (s *Scheduler) Apply(r jobs.Request) (metrics.Cost, error) {
 // async insert and a delete of the same name); requests for different
 // names are unordered across shards by design.
 func (s *Scheduler) Submit(r jobs.Request) error {
+	return s.SubmitDeadline(r, 0)
+}
+
+// SubmitDeadline is Submit with a request deadline (see ApplyDeadline
+// for the semantics). A deadline expiry surfaces like any other async
+// failure: folded into Drain's error summary.
+func (s *Scheduler) SubmitDeadline(r jobs.Request, timeout time.Duration) error {
 	s.pendAdd()
-	err := s.dispatch(r, func(_ metrics.Cost, err error) {
+	err := s.dispatchTimed(r, deadlineFrom(timeout), func(_ metrics.Cost, err error) {
 		if err != nil {
 			s.recordAsyncErr(r.String(), err)
 		}
@@ -583,6 +631,13 @@ func (s *Scheduler) recordAsyncErr(what string, err error) {
 // request. finish runs exactly once with the request's final outcome —
 // on a worker goroutine, so it must not block on scheduler operations.
 func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) error {
+	return s.dispatchTimed(r, 0, finish)
+}
+
+// dispatchTimed is dispatch with an absolute monotonicNS deadline (0 =
+// none) carried into the task so both the ring park and the worker's
+// pre-execution check can honor it.
+func (s *Scheduler) dispatchTimed(r jobs.Request, deadline int64, finish func(metrics.Cost, error)) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -599,9 +654,9 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 	}
 	switch r.Kind {
 	case jobs.Insert:
-		return s.dispatchInsert(r, finish)
+		return s.dispatchInsert(r, deadline, finish)
 	case jobs.Delete:
-		return s.dispatchDelete(r, finish)
+		return s.dispatchDelete(r, deadline, finish)
 	default:
 		return fmt.Errorf("shard: unknown request kind %d", r.Kind)
 	}
@@ -630,6 +685,15 @@ func (s *Scheduler) dispatch(r jobs.Request, finish func(metrics.Cost, error)) e
 // after the append.
 func (s *Scheduler) durableFinish(r jobs.Request, finish func(metrics.Cost, error)) func(metrics.Cost, error) {
 	return func(c metrics.Cost, err error) {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			// The request expired before reaching the inner scheduler:
+			// it mutated nothing, so logging it would create a phantom
+			// mutation on replay (recovery has no deadlines and would
+			// apply it). Ack without an append, like every other
+			// rejected-before-execution request.
+			finish(c, err)
+			return
+		}
 		s.log.Enqueue(wal.RequestRecord(r), func(werr error) {
 			if werr != nil && err == nil {
 				// The request is applied but not durable: surface the
@@ -641,7 +705,7 @@ func (s *Scheduler) durableFinish(r jobs.Request, finish func(metrics.Cost, erro
 	}
 }
 
-func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, error)) error {
+func (s *Scheduler) dispatchInsert(r jobs.Request, deadline int64, finish func(metrics.Cost, error)) error {
 	primary := s.policy.Route(r.Name, len(s.workers))
 	s.mu.Lock()
 	id := s.names.Intern(r.Name)
@@ -653,7 +717,7 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 	s.inflight[primary]++
 	s.mu.Unlock()
 
-	err := s.send(primary, task{req: r, retryable: len(s.workers) > 1, finish: func(c metrics.Cost, err error) {
+	err := s.send(primary, task{req: r, deadline: deadline, retryable: len(s.workers) > 1, finish: func(c metrics.Cost, err error) {
 		if err != nil && errors.Is(err, sched.ErrInfeasible) && len(s.workers) > 1 {
 			// Primary shard is locally overallocated: overflow to the
 			// least-loaded shard. The hop runs on a fresh goroutine so
@@ -663,7 +727,7 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 				s.inflight[primary]--
 				s.inflight[fb]++
 				s.mu.Unlock()
-				go s.overflow(r, id, fb, finish)
+				go s.overflow(r, id, fb, deadline, finish)
 				return
 			}
 		}
@@ -678,9 +742,11 @@ func (s *Scheduler) dispatchInsert(r jobs.Request, finish func(metrics.Cost, err
 }
 
 // overflow retries a rejected insert on shard fb. id is the insert's
-// reserved routing entry, owned by this in-flight request.
-func (s *Scheduler) overflow(r jobs.Request, id ident.ID, fb int, finish func(metrics.Cost, error)) {
-	err := s.send(fb, task{req: r, overflow: true, finish: func(c metrics.Cost, err error) {
+// reserved routing entry, owned by this in-flight request. The hop
+// keeps the original request's deadline: the clock covers the whole
+// request, not each attempt.
+func (s *Scheduler) overflow(r jobs.Request, id ident.ID, fb int, deadline int64, finish func(metrics.Cost, error)) {
+	err := s.send(fb, task{req: r, overflow: true, deadline: deadline, finish: func(c metrics.Cost, err error) {
 		s.commitInsert(id, fb, err)
 		finish(c, err)
 	}})
@@ -737,19 +803,19 @@ func (s *Scheduler) resolveDeleteShard(name string) (int, error) {
 	}
 }
 
-func (s *Scheduler) dispatchDelete(r jobs.Request, finish func(metrics.Cost, error)) error {
+func (s *Scheduler) dispatchDelete(r jobs.Request, deadline int64, finish func(metrics.Cost, error)) error {
 	idx, err := s.resolveDeleteShard(r.Name)
 	if err != nil {
 		return err
 	}
-	return s.sendDelete(idx, r, finish, 2)
+	return s.sendDelete(idx, r, deadline, finish, 2)
 }
 
 // sendDelete enqueues a delete on shard idx. If the shard no longer
 // holds the job because a resize migrated it away between routing and
 // execution, the delete chases the job to its new shard (bounded hops).
-func (s *Scheduler) sendDelete(idx int, r jobs.Request, finish func(metrics.Cost, error), hops int) error {
-	return s.send(idx, task{req: r, finish: func(c metrics.Cost, err error) {
+func (s *Scheduler) sendDelete(idx int, r jobs.Request, deadline int64, finish func(metrics.Cost, error), hops int) error {
+	return s.send(idx, task{req: r, deadline: deadline, finish: func(c metrics.Cost, err error) {
 		if err == nil {
 			s.mu.Lock()
 			// Re-resolve the name before dropping: if the job was shed
@@ -775,7 +841,7 @@ func (s *Scheduler) sendDelete(idx int, r jobs.Request, finish func(metrics.Cost
 					finish(c, err)
 					return
 				}
-				if serr := s.sendDelete(cur, r, finish, hops-1); serr != nil {
+				if serr := s.sendDelete(cur, r, deadline, finish, hops-1); serr != nil {
 					finish(c, serr)
 				}
 			}()

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// TestEnqueueCloseNeverDropsCallback pins the close-boundary ack
+// guarantee: with many goroutines enqueueing while another calls
+// Close, every Enqueue results in exactly one done invocation — nil
+// (the record was written before the log closed) or ErrClosed (the
+// append lost the race and the write never happened). A dropped or
+// doubled callback is a lost or phantom ack at the server's
+// ack-after-durability boundary. Run with -race.
+func TestEnqueueCloseNeverDropsCallback(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 200
+		rounds    = 20
+	)
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		// A tiny buffer forces enqueuers to block on a full channel at
+		// the close boundary, the riskiest interleaving.
+		l, _, err := Open(dir, Options{Buffer: 4, GroupLimit: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var (
+			fired    atomic.Int64 // total callback invocations
+			accepted atomic.Int64 // callbacks that reported nil
+			rejected atomic.Int64 // callbacks that reported ErrClosed
+			calls    [producers * perProd]atomic.Int32
+			wg       sync.WaitGroup
+		)
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perProd; i++ {
+					id := p*perProd + i
+					rec := RequestRecord(jobs.InsertReq(fmt.Sprintf("j%d", id), 0, 64))
+					l.Enqueue(rec, func(err error) {
+						calls[id].Add(1)
+						fired.Add(1)
+						switch {
+						case err == nil:
+							accepted.Add(1)
+						case errors.Is(err, ErrClosed):
+							rejected.Add(1)
+						default:
+							t.Errorf("req %d: unexpected callback error: %v", id, err)
+						}
+					})
+				}
+			}(p)
+		}
+		closed := make(chan struct{})
+		go func() {
+			<-start
+			if err := l.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			close(closed)
+		}()
+		close(start)
+		wg.Wait()
+		<-closed
+
+		total := int64(producers * perProd)
+		if got := fired.Load(); got != total {
+			t.Fatalf("round %d: %d callbacks fired, want %d (accepted=%d rejected=%d)",
+				round, got, total, accepted.Load(), rejected.Load())
+		}
+		for id := range calls {
+			if n := calls[id].Load(); n != 1 {
+				t.Fatalf("round %d: req %d: done fired %d times, want exactly 1", round, id, n)
+			}
+		}
+
+		// Every nil-acked record must actually be on disk: the ack is
+		// the durability promise.
+		got, err := Read(dir)
+		if err != nil {
+			t.Fatalf("round %d: re-reading log: %v", round, err)
+		}
+		if n := int64(got.Requests()); n != accepted.Load() {
+			t.Fatalf("round %d: %d records on disk, but %d acks reported success",
+				round, n, accepted.Load())
+		}
+	}
+}
+
+// TestCloseIdempotentReportsWriteError pins that a second (or
+// concurrent) Close reports the same sticky write failure as the
+// first, instead of masking it with nil.
+func TestCloseIdempotentReportsWriteError(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the segment file so the flusher's write fails.
+	l.f.Close()
+	werr := l.Append(RequestRecord(jobs.InsertReq("x", 0, 8)))
+	if werr == nil {
+		t.Fatal("append to a closed file unexpectedly succeeded")
+	}
+	first := l.Close()
+	second := l.Close()
+	if first == nil || second == nil {
+		t.Fatalf("Close() = %v then %v, want the sticky write error from both", first, second)
+	}
+}

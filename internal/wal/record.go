@@ -115,9 +115,12 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendRequest encodes one request: kind byte, name, and (for inserts)
-// the window bounds as signed varints.
-func appendRequest(b []byte, r jobs.Request) []byte {
+// AppendRequest encodes one request: kind byte, name, and (for inserts)
+// the window bounds as signed varints. It is exported because the wire
+// protocol (internal/wire) frames jobs.Request payloads with exactly
+// this encoding — the WAL's on-disk request format is the network
+// format.
+func AppendRequest(b []byte, r jobs.Request) []byte {
 	b = append(b, byte(r.Kind))
 	b = binary.AppendUvarint(b, uint64(len(r.Name)))
 	b = append(b, r.Name...)
@@ -128,9 +131,9 @@ func appendRequest(b []byte, r jobs.Request) []byte {
 	return b
 }
 
-// decodeRequest is the inverse of appendRequest, returning the request
-// and the number of bytes consumed.
-func decodeRequest(p []byte) (jobs.Request, int, error) {
+// DecodeRequest is the inverse of AppendRequest, returning the request
+// and the number of bytes consumed. It never panics on arbitrary input.
+func DecodeRequest(p []byte) (jobs.Request, int, error) {
 	if len(p) < 1 {
 		return jobs.Request{}, 0, fmt.Errorf("wal: truncated request")
 	}
@@ -168,12 +171,12 @@ func appendPayload(b []byte, rec Record) ([]byte, error) {
 	switch rec.Kind {
 	case KindRequest:
 		b = append(b, byte(KindRequest))
-		b = appendRequest(b, rec.Req)
+		b = AppendRequest(b, rec.Req)
 	case KindBatch:
 		b = append(b, byte(KindBatch))
 		b = binary.AppendUvarint(b, uint64(len(rec.Batch)))
 		for _, r := range rec.Batch {
-			b = appendRequest(b, r)
+			b = AppendRequest(b, r)
 		}
 	case KindResize:
 		b = append(b, byte(KindResize))
@@ -199,7 +202,7 @@ func DecodePayload(p []byte) (Record, error) {
 	rec.Kind = kind
 	switch kind {
 	case KindRequest:
-		r, n, err := decodeRequest(body)
+		r, n, err := DecodeRequest(body)
 		if err != nil {
 			return Record{}, err
 		}
@@ -217,7 +220,7 @@ func DecodePayload(p []byte) (Record, error) {
 			rec.Batch = make([]jobs.Request, 0, count)
 		}
 		for i := uint64(0); i < count; i++ {
-			r, n, err := decodeRequest(body[off:])
+			r, n, err := DecodeRequest(body[off:])
 			if err != nil {
 				return Record{}, fmt.Errorf("wal: batch request %d: %w", i, err)
 			}

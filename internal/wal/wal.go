@@ -442,31 +442,41 @@ func ReadCheckpoint(dir string) (*Checkpoint, error) {
 }
 
 // Close flushes every queued record, syncs, and closes the segment
-// file. Appends after Close fail with ErrClosed. Close is idempotent.
+// file. Appends after Close fail with ErrClosed. Close is idempotent,
+// and every call — including concurrent and repeated ones — waits for
+// the flusher to finish and reports the sticky write error, so no
+// caller can observe "closed cleanly" while another sees the failure.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		<-l.done
-		return nil
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
 	}
-	l.closed = true
-	close(l.ch)
 	l.mu.Unlock()
 	<-l.done
+	// Reading werr is safe here: the flusher's close(l.done) happens
+	// after its last write to werr.
 	return l.werr
 }
 
 // run is the flusher loop: drain a group, encode it, one write (plus
 // one fsync under Options.Fsync), then acknowledge each record.
+//
+// Ack guarantee: every pend that made it into l.ch gets its callback
+// (or rotate reply) exactly once before l.done closes. The main loop
+// upholds it by flushing everything it dequeues; the drain loop after
+// it upholds it structurally — Close closes l.ch only after every
+// in-flight Enqueue has completed its send, so ranging the closed
+// channel visits any item a future refactor of the fill loop might
+// leave behind, instead of silently dropping its ack.
 func (l *Log) run() {
 	defer close(l.done)
 	batch := make([]pend, 0, l.opts.GroupLimit)
-	for {
+	open := true
+	for open {
 		p, ok := <-l.ch
 		if !ok {
-			l.finalize()
-			return
+			break
 		}
 		if p.rotate != nil {
 			l.doRotate(p.rotate)
@@ -474,13 +484,12 @@ func (l *Log) run() {
 		}
 		batch = append(batch[:0], p)
 		var rot chan rotateReply
-		closing := false
 	fill:
 		for len(batch) < l.opts.GroupLimit {
 			select {
 			case p2, ok2 := <-l.ch:
 				if !ok2 {
-					closing = true
+					open = false
 					break fill
 				}
 				if p2.rotate != nil {
@@ -496,11 +505,18 @@ func (l *Log) run() {
 		if rot != nil {
 			l.doRotate(rot)
 		}
-		if closing {
-			l.finalize()
-			return
-		}
 	}
+	// Backstop drain: the channel is closed, so this terminates. Any
+	// remaining record is still written and acknowledged — the segment
+	// file is open until finalize — never dropped.
+	for p := range l.ch {
+		if p.rotate != nil {
+			l.doRotate(p.rotate)
+			continue
+		}
+		l.flush(append(batch[:0], p))
+	}
+	l.finalize()
 }
 
 // flush writes one group commit and runs its callbacks.

@@ -1,0 +1,580 @@
+// Package wire is the reallocd network protocol: length-prefixed,
+// CRC-framed binary frames over a byte stream, sharing the WAL's
+// framing discipline and its jobs.Request encoding
+// (wal.AppendRequest/wal.DecodeRequest) — the on-disk request format
+// IS the network format, so a server can hand a submitted payload to
+// the durability layer without re-encoding.
+//
+// # Frame layout
+//
+// Every frame is
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// with the payload's first byte the frame kind and the rest the
+// kind-specific body. All integers are little-endian; variable-length
+// fields use Go's varint encodings. Limits on every count and length
+// field reject corrupt or hostile frames before they can drive a large
+// allocation; a frame that fails any check is a protocol error and the
+// connection is torn down (streams cannot resynchronize after a bad
+// length prefix).
+//
+// # Conversation
+//
+// A connection opens with Hello (protocol version + tenant name) and
+// Welcome (the tenant's shard and machine geometry). After that the
+// client streams Submit/Batch/Drain/Resize/SnapshotReq frames, each
+// carrying a client-chosen correlation ID, and the server answers each
+// — in completion order, not submission order — with Ack, BatchAck,
+// DrainAck, or Snapshot carrying the same ID. Err is reserved for
+// connection-fatal failures (bad hello, unknown frame): it carries no
+// ID and the server closes after sending it.
+//
+// Submit and Batch carry an optional relative deadline in
+// microseconds; overload rejections (the server's per-tenant admission
+// budget) come back as CodeOverload acks, never by blocking the
+// stream.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/jobs"
+	"repro/internal/wal"
+)
+
+// Version is the protocol version carried in Hello; a server rejects a
+// mismatch with a fatal Err frame.
+const Version = 1
+
+// ErrOverload is the client-side sentinel for CodeOverload: the
+// tenant's inflight budget is exhausted and the request was rejected —
+// not queued — so the caller should back off and retry.
+var ErrOverload = errors.New("wire: overloaded: tenant inflight budget exhausted")
+
+// Kind identifies a frame's payload type.
+type Kind uint8
+
+const (
+	// KindHello opens a connection: version, tenant name.
+	KindHello Kind = 1
+	// KindWelcome accepts a Hello: the tenant's shard and machine counts.
+	KindWelcome Kind = 2
+	// KindSubmit is one request: id, deadline, request payload.
+	KindSubmit Kind = 3
+	// KindBatch is one request batch: id, deadline, request payloads.
+	KindBatch Kind = 4
+	// KindAck answers Submit: id, code, optional detail.
+	KindAck Kind = 5
+	// KindBatchAck answers Batch: id, per-request codes.
+	KindBatchAck Kind = 6
+	// KindErr is a connection-fatal server error: code, detail.
+	KindErr Kind = 7
+	// KindDrain asks the server to settle every async submission: id.
+	KindDrain Kind = 8
+	// KindDrainAck answers Drain: id, code, optional detail.
+	KindDrainAck Kind = 9
+	// KindResize re-partitions the tenant's machine pool: id, machines.
+	KindResize Kind = 10
+	// KindSnapshotReq asks for a consistent schedule snapshot: id.
+	KindSnapshotReq Kind = 11
+	// KindSnapshot answers SnapshotReq: id, machines, placed jobs.
+	KindSnapshot Kind = 12
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindSubmit:
+		return "submit"
+	case KindBatch:
+		return "batch"
+	case KindAck:
+		return "ack"
+	case KindBatchAck:
+		return "batchack"
+	case KindErr:
+		return "err"
+	case KindDrain:
+		return "drain"
+	case KindDrainAck:
+		return "drainack"
+	case KindResize:
+		return "resize"
+	case KindSnapshotReq:
+		return "snapshotreq"
+	case KindSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Code is a per-request outcome carried in Ack/BatchAck/DrainAck (and
+// in fatal Err frames).
+type Code uint8
+
+const (
+	// CodeOK: the request executed successfully.
+	CodeOK Code = 0
+	// CodeOverload: rejected by admission control, never executed.
+	CodeOverload Code = 1
+	// CodeDeadline: the request's deadline expired before execution.
+	CodeDeadline Code = 2
+	// CodeInfeasible: no machine can host the job's window.
+	CodeInfeasible Code = 3
+	// CodeDuplicate: insert of a name that is already active.
+	CodeDuplicate Code = 4
+	// CodeUnknownJob: delete of a name that is not active.
+	CodeUnknownJob Code = 5
+	// CodeClosed: the tenant (or server) is shutting down.
+	CodeClosed Code = 6
+	// CodeBadRequest: the request failed validation.
+	CodeBadRequest Code = 7
+	// CodeInternal: any other server-side failure; see Detail.
+	CodeInternal Code = 8
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeOverload:
+		return "overload"
+	case CodeDeadline:
+		return "deadline"
+	case CodeInfeasible:
+		return "infeasible"
+	case CodeDuplicate:
+		return "duplicate"
+	case CodeUnknownJob:
+		return "unknown-job"
+	case CodeClosed:
+		return "closed"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Code(%d)", uint8(c))
+	}
+}
+
+// PlacedJob is one snapshot entry: a job and where it is scheduled.
+type PlacedJob struct {
+	Job       jobs.Job
+	Placement jobs.Placement
+}
+
+// Frame is the decoded form of any protocol frame. Kind selects which
+// fields are meaningful; the rest stay zero.
+type Frame struct {
+	Kind Kind
+
+	// ID correlates a request frame with its answer. Client-chosen,
+	// unique per connection among in-flight requests.
+	ID uint64
+
+	// Version, Tenant: Hello.
+	Version int
+	Tenant  string
+
+	// Shards, Machines: Welcome (both), Resize and Snapshot (Machines).
+	Shards   int
+	Machines int
+
+	// DeadlineUS is Submit/Batch's relative deadline in microseconds
+	// from server receipt (0 = none).
+	DeadlineUS uint64
+
+	// Req: Submit. Batch: Batch.
+	Req   jobs.Request
+	Batch []jobs.Request
+
+	// Code, Detail: Ack, DrainAck, Err (Detail may be empty).
+	Code   Code
+	Detail string
+
+	// Codes: BatchAck, one per batched request in order.
+	Codes []Code
+
+	// Jobs: Snapshot.
+	Jobs []PlacedJob
+}
+
+// Frame and field limits. A reader rejects any frame past them.
+const (
+	frameHeaderLen = 8       // u32 length + u32 CRC
+	MaxFrameLen    = 1 << 24 // 16 MiB payload cap
+	MaxBatch       = 1 << 14 // requests per Batch frame
+	MaxTenantLen   = 256
+	MaxDetailLen   = 1 << 12
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func decodeString(p []byte, max int) (string, int, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(max) || uint64(len(p)-w) < n {
+		return "", 0, fmt.Errorf("wire: bad string length")
+	}
+	return string(p[w : w+int(n)]), w + int(n), nil
+}
+
+// appendPayload encodes f's payload (kind byte + body).
+func appendPayload(b []byte, f *Frame) ([]byte, error) {
+	b = append(b, byte(f.Kind))
+	switch f.Kind {
+	case KindHello:
+		if len(f.Tenant) == 0 || len(f.Tenant) > MaxTenantLen {
+			return b, fmt.Errorf("wire: tenant name length %d (want 1..%d)", len(f.Tenant), MaxTenantLen)
+		}
+		b = binary.AppendUvarint(b, uint64(f.Version))
+		b = appendString(b, f.Tenant)
+	case KindWelcome:
+		b = binary.AppendUvarint(b, uint64(f.Shards))
+		b = binary.AppendUvarint(b, uint64(f.Machines))
+	case KindSubmit:
+		b = binary.AppendUvarint(b, f.ID)
+		b = binary.AppendUvarint(b, f.DeadlineUS)
+		b = wal.AppendRequest(b, f.Req)
+	case KindBatch:
+		if len(f.Batch) == 0 || len(f.Batch) > MaxBatch {
+			return b, fmt.Errorf("wire: batch of %d requests (want 1..%d)", len(f.Batch), MaxBatch)
+		}
+		b = binary.AppendUvarint(b, f.ID)
+		b = binary.AppendUvarint(b, f.DeadlineUS)
+		b = binary.AppendUvarint(b, uint64(len(f.Batch)))
+		for _, r := range f.Batch {
+			b = wal.AppendRequest(b, r)
+		}
+	case KindAck, KindDrainAck:
+		b = binary.AppendUvarint(b, f.ID)
+		b = append(b, byte(f.Code))
+		b = appendString(b, clip(f.Detail, MaxDetailLen))
+	case KindBatchAck:
+		b = binary.AppendUvarint(b, f.ID)
+		b = binary.AppendUvarint(b, uint64(len(f.Codes)))
+		for _, c := range f.Codes {
+			b = append(b, byte(c))
+		}
+	case KindErr:
+		b = append(b, byte(f.Code))
+		b = appendString(b, clip(f.Detail, MaxDetailLen))
+	case KindDrain, KindSnapshotReq:
+		b = binary.AppendUvarint(b, f.ID)
+	case KindResize:
+		b = binary.AppendUvarint(b, f.ID)
+		b = binary.AppendUvarint(b, uint64(f.Machines))
+	case KindSnapshot:
+		b = binary.AppendUvarint(b, f.ID)
+		b = binary.AppendUvarint(b, uint64(f.Machines))
+		b = binary.AppendUvarint(b, uint64(len(f.Jobs)))
+		for _, pj := range f.Jobs {
+			b = appendString(b, pj.Job.Name)
+			b = binary.AppendVarint(b, pj.Job.Window.Start)
+			b = binary.AppendVarint(b, pj.Job.Window.End)
+			b = binary.AppendVarint(b, int64(pj.Placement.Machine))
+			b = binary.AppendVarint(b, pj.Placement.Slot)
+		}
+	default:
+		return b, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	return b, nil
+}
+
+func clip(s string, max int) string {
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+// DecodePayload decodes one frame payload. Strict: the payload must be
+// consumed exactly. It never panics on arbitrary input.
+func DecodePayload(p []byte) (Frame, error) {
+	if len(p) < 1 {
+		return Frame{}, fmt.Errorf("wire: empty payload")
+	}
+	f := Frame{Kind: Kind(p[0])}
+	body := p[1:]
+	off := 0
+
+	uvar := func() (uint64, error) {
+		v, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return 0, fmt.Errorf("wire: bad varint in %s frame", f.Kind)
+		}
+		off += w
+		return v, nil
+	}
+	svar := func() (int64, error) {
+		v, w := binary.Varint(body[off:])
+		if w <= 0 {
+			return 0, fmt.Errorf("wire: bad varint in %s frame", f.Kind)
+		}
+		off += w
+		return v, nil
+	}
+	str := func(max int) (string, error) {
+		s, n, err := decodeString(body[off:], max)
+		if err != nil {
+			return "", fmt.Errorf("%w in %s frame", err, f.Kind)
+		}
+		off += n
+		return s, nil
+	}
+	codeByte := func() (Code, error) {
+		if off >= len(body) {
+			return 0, fmt.Errorf("wire: truncated %s frame", f.Kind)
+		}
+		c := Code(body[off])
+		off++
+		if c > CodeInternal {
+			return 0, fmt.Errorf("wire: unknown code %d in %s frame", c, f.Kind)
+		}
+		return c, nil
+	}
+
+	var err error
+	fail := func(e error) (Frame, error) { return Frame{}, e }
+	switch f.Kind {
+	case KindHello:
+		var v uint64
+		if v, err = uvar(); err != nil {
+			return fail(err)
+		}
+		f.Version = int(v)
+		if f.Tenant, err = str(MaxTenantLen); err != nil {
+			return fail(err)
+		}
+		if f.Tenant == "" {
+			return fail(fmt.Errorf("wire: hello with empty tenant"))
+		}
+	case KindWelcome:
+		var s, m uint64
+		if s, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if m, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if s > 1<<20 || m > 1<<30 {
+			return fail(fmt.Errorf("wire: implausible welcome geometry %d/%d", s, m))
+		}
+		f.Shards, f.Machines = int(s), int(m)
+	case KindSubmit:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if f.DeadlineUS, err = uvar(); err != nil {
+			return fail(err)
+		}
+		r, n, derr := wal.DecodeRequest(body[off:])
+		if derr != nil {
+			return fail(derr)
+		}
+		off += n
+		f.Req = r
+	case KindBatch:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if f.DeadlineUS, err = uvar(); err != nil {
+			return fail(err)
+		}
+		count, cerr := uvar()
+		if cerr != nil {
+			return fail(cerr)
+		}
+		if count == 0 || count > MaxBatch {
+			return fail(fmt.Errorf("wire: batch of %d requests (want 1..%d)", count, MaxBatch))
+		}
+		f.Batch = make([]jobs.Request, 0, count)
+		for i := uint64(0); i < count; i++ {
+			r, n, derr := wal.DecodeRequest(body[off:])
+			if derr != nil {
+				return fail(fmt.Errorf("wire: batch request %d: %w", i, derr))
+			}
+			off += n
+			f.Batch = append(f.Batch, r)
+		}
+	case KindAck, KindDrainAck:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if f.Code, err = codeByte(); err != nil {
+			return fail(err)
+		}
+		if f.Detail, err = str(MaxDetailLen); err != nil {
+			return fail(err)
+		}
+	case KindBatchAck:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		count, cerr := uvar()
+		if cerr != nil {
+			return fail(cerr)
+		}
+		if count > MaxBatch || uint64(len(body)-off) < count {
+			return fail(fmt.Errorf("wire: bad batchack count %d", count))
+		}
+		f.Codes = make([]Code, 0, count)
+		for i := uint64(0); i < count; i++ {
+			c, cerr := codeByte()
+			if cerr != nil {
+				return fail(cerr)
+			}
+			f.Codes = append(f.Codes, c)
+		}
+	case KindErr:
+		if f.Code, err = codeByte(); err != nil {
+			return fail(err)
+		}
+		if f.Detail, err = str(MaxDetailLen); err != nil {
+			return fail(err)
+		}
+	case KindDrain, KindSnapshotReq:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+	case KindResize:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		m, merr := uvar()
+		if merr != nil {
+			return fail(merr)
+		}
+		if m > 1<<30 {
+			return fail(fmt.Errorf("wire: implausible resize to %d machines", m))
+		}
+		f.Machines = int(m)
+	case KindSnapshot:
+		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+		m, merr := uvar()
+		if merr != nil {
+			return fail(merr)
+		}
+		f.Machines = int(m)
+		count, cerr := uvar()
+		if cerr != nil {
+			return fail(cerr)
+		}
+		// Each entry takes at least 5 bytes (name length + four
+		// varints), so more entries than bytes/5 cannot decode. The
+		// prealloc is additionally capped: a forged count must not
+		// drive a huge allocation before the per-entry decode fails.
+		if count > uint64(len(body)-off)/5 {
+			return fail(fmt.Errorf("wire: bad snapshot count %d", count))
+		}
+		f.Jobs = make([]PlacedJob, 0, min(count, 1<<16))
+		for i := uint64(0); i < count; i++ {
+			var pj PlacedJob
+			if pj.Job.Name, err = str(MaxFrameLen); err != nil {
+				return fail(err)
+			}
+			if pj.Job.Window.Start, err = svar(); err != nil {
+				return fail(err)
+			}
+			if pj.Job.Window.End, err = svar(); err != nil {
+				return fail(err)
+			}
+			var mach int64
+			if mach, err = svar(); err != nil {
+				return fail(err)
+			}
+			pj.Placement.Machine = int(mach)
+			if pj.Placement.Slot, err = svar(); err != nil {
+				return fail(err)
+			}
+			f.Jobs = append(f.Jobs, pj)
+		}
+	default:
+		return fail(fmt.Errorf("wire: unknown frame kind %d", p[0]))
+	}
+	if off != len(body) {
+		return Frame{}, fmt.Errorf("wire: %d trailing byte(s) after %s frame", len(body)-off, f.Kind)
+	}
+	return f, nil
+}
+
+// AppendFrame appends f's framed encoding to dst.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst, err := appendPayload(dst, f)
+	if err != nil {
+		return dst[:start], err
+	}
+	payload := dst[start+frameHeaderLen:]
+	if len(payload) > MaxFrameLen {
+		return dst[:start], fmt.Errorf("wire: frame payload %d bytes exceeds the %d cap", len(payload), MaxFrameLen)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// WriteFrame writes f to w as one Write call, reusing buf (returned
+// grown) as the encode scratch.
+func WriteFrame(w io.Writer, buf []byte, f *Frame) ([]byte, error) {
+	b, err := AppendFrame(buf[:0], f)
+	if err != nil {
+		return buf, err
+	}
+	_, err = w.Write(b)
+	return b, err
+}
+
+// ReadFrame reads one frame from r, reusing buf (returned grown) as
+// the read scratch. Any violation — short read, oversized length, CRC
+// mismatch, undecodable payload — is fatal to the stream: the caller
+// must close the connection, since resynchronization is impossible.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	if cap(buf) < frameHeaderLen {
+		buf = make([]byte, frameHeaderLen, 4096)
+	}
+	hdr := buf[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, buf, err // io.EOF at a frame boundary is a clean close
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > MaxFrameLen {
+		return Frame{}, buf, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Frame{}, buf, fmt.Errorf("wire: frame CRC mismatch")
+	}
+	f, err := DecodePayload(payload)
+	if err != nil {
+		return Frame{}, buf, err
+	}
+	return f, buf, nil
+}
