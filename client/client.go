@@ -14,36 +14,47 @@ package client
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/wire"
 )
 
 // Sentinel errors for per-request server verdicts. All are wrapped
 // with server detail where available; match with errors.Is.
+//
+// Every sentinel aliases internal/fault — the repo's unified error
+// vocabulary, re-exported by the public realloc package — so a remote
+// caller branches on exactly the errors.Is targets an embedded caller
+// does: errors.Is(err, realloc.ErrOverload) holds whether the overload
+// was raised by realloc.Sharded directly or decoded from a CodeOverload
+// ack here. ErrOverload is an alias of that one sentinel, not a
+// parallel species.
 var (
 	// ErrOverload: the tenant's inflight budget was exhausted; back
 	// off and retry.
-	ErrOverload = wire.ErrOverload
+	ErrOverload = fault.ErrOverload
 	// ErrDeadline: the request's deadline passed before it executed;
 	// it mutated nothing.
-	ErrDeadline = errors.New("client: request deadline exceeded")
+	ErrDeadline = fault.ErrDeadlineExceeded
 	// ErrInfeasible: the request was rejected by the scheduler as
 	// infeasible.
-	ErrInfeasible = errors.New("client: request infeasible")
+	ErrInfeasible = fault.ErrInfeasible
 	// ErrDuplicate: insert of a name that is already scheduled.
-	ErrDuplicate = errors.New("client: duplicate job")
+	ErrDuplicate = fault.ErrDuplicateJob
 	// ErrUnknownJob: delete of a name that is not scheduled.
-	ErrUnknownJob = errors.New("client: unknown job")
+	ErrUnknownJob = fault.ErrUnknownJob
 	// ErrClosed: the server (or this client) is shut down.
-	ErrClosed = errors.New("client: connection closed")
+	ErrClosed = fault.ErrClosed
 	// ErrBadRequest: the server rejected the request as malformed.
-	ErrBadRequest = errors.New("client: bad request")
+	ErrBadRequest = fault.ErrBadRequest
+	// ErrFenced: the server has been deposed by a newer primary epoch
+	// and refuses writes; redial the promoted follower.
+	ErrFenced = fault.ErrFenced
 )
 
 func codeErr(code wire.Code, detail string) error {
@@ -65,6 +76,8 @@ func codeErr(code wire.Code, detail string) error {
 		return ErrClosed
 	case wire.CodeBadRequest:
 		base = ErrBadRequest
+	case wire.CodeFenced:
+		base = ErrFenced
 	default:
 		base = fmt.Errorf("client: server error (code %d)", code)
 	}
@@ -80,11 +93,57 @@ type Snapshot struct {
 	Jobs     []wire.PlacedJob
 }
 
+// DialOption customizes Dial, mirroring realloc.New's functional
+// options. The zero-option call Dial(addr, tenant) behaves exactly as
+// it always has.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout  time.Duration
+	attempts int
+	backoff  time.Duration
+	deadline time.Duration
+	fallback []string
+}
+
+// WithDialTimeout bounds each connection attempt — TCP connect plus
+// the Hello/Welcome handshake (default 30s).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithRedial retries a failed dial: up to attempts rounds over the
+// address list (the primary address plus any WithFallback addresses),
+// sleeping backoff between rounds. The default is one round, no
+// retry. This is the failover-aware mode: after a primary dies, a
+// redialing client finds the promoted follower on its fallback list.
+func WithRedial(attempts int, backoff time.Duration) DialOption {
+	return func(c *dialConfig) {
+		if attempts > 0 {
+			c.attempts = attempts
+		}
+		c.backoff = backoff
+	}
+}
+
+// WithDeadline sets the client's default per-request deadline, applied
+// whenever a submit passes a zero timeout (default: none).
+func WithDeadline(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.deadline = d }
+}
+
+// WithFallback appends failover addresses tried, in order, after the
+// primary address within every dial round.
+func WithFallback(addrs ...string) DialOption {
+	return func(c *dialConfig) { c.fallback = append(c.fallback, addrs...) }
+}
+
 // Client is one tenant-bound connection to a reallocd server.
 type Client struct {
 	nc               net.Conn
 	tenant           string
 	shards, machines int
+	deadline         time.Duration // default per-request deadline (WithDeadline)
 
 	// wmu serializes the write side (frame encode + bufio flush) and
 	// ID allocation.
@@ -102,18 +161,44 @@ type Client struct {
 }
 
 // Dial connects to a reallocd server and performs the Hello/Welcome
-// handshake for the given tenant.
-func Dial(addr, tenant string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+// handshake for the given tenant. With no options it makes one attempt
+// against addr; see WithRedial/WithFallback for the failover-aware
+// variants.
+func Dial(addr, tenant string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{timeout: 30 * time.Second, attempts: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	addrs := append([]string{addr}, cfg.fallback...)
+	var err error
+	for round := 0; round < cfg.attempts; round++ {
+		if round > 0 && cfg.backoff > 0 {
+			time.Sleep(cfg.backoff)
+		}
+		for _, a := range addrs {
+			var c *Client
+			if c, err = dialOne(a, tenant, &cfg); err == nil {
+				return c, nil
+			}
+		}
+	}
+	return nil, err
+}
+
+// dialOne makes one connection attempt with the config's timeout
+// covering connect plus handshake.
+func dialOne(addr, tenant string, cfg *dialConfig) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.timeout)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		nc:      nc,
-		tenant:  tenant,
-		bw:      bufio.NewWriter(nc),
-		pending: make(map[uint64]chan wire.Frame),
-		rdone:   make(chan struct{}),
+		nc:       nc,
+		tenant:   tenant,
+		deadline: cfg.deadline,
+		bw:       bufio.NewWriter(nc),
+		pending:  make(map[uint64]chan wire.Frame),
+		rdone:    make(chan struct{}),
 	}
 	hello := wire.Frame{Kind: wire.KindHello, Version: wire.Version, Tenant: tenant}
 	c.wmu.Lock()
@@ -126,7 +211,7 @@ func Dial(addr, tenant string) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: hello: %w", err)
 	}
-	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	nc.SetReadDeadline(time.Now().Add(cfg.timeout))
 	welcome, _, err := wire.ReadFrame(nc, nil)
 	if err != nil {
 		nc.Close()
@@ -265,9 +350,12 @@ func (p *Pending) Wait() error {
 }
 
 // SubmitAsync sends one request without waiting for its ack. A zero
-// timeout means no deadline. Acks may settle in any order; each
-// Pending resolves independently.
+// timeout means the WithDeadline default, or no deadline without one.
+// Acks may settle in any order; each Pending resolves independently.
 func (c *Client) SubmitAsync(r jobs.Request, timeout time.Duration) (*Pending, error) {
+	if timeout <= 0 {
+		timeout = c.deadline
+	}
 	f := wire.Frame{Kind: wire.KindSubmit, Req: r, DeadlineUS: deadlineUS(timeout)}
 	ch, err := c.call(&f)
 	if err != nil {
@@ -295,6 +383,9 @@ func (c *Client) SubmitDeadline(r jobs.Request, timeout time.Duration) error {
 func (c *Client) Batch(reqs []jobs.Request, timeout time.Duration) ([]error, error) {
 	if len(reqs) == 0 {
 		return nil, nil
+	}
+	if timeout <= 0 {
+		timeout = c.deadline
 	}
 	f := wire.Frame{Kind: wire.KindBatch, Batch: reqs, DeadlineUS: deadlineUS(timeout)}
 	ch, err := c.call(&f)

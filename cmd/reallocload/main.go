@@ -16,17 +16,32 @@
 //	reallocload -addr 127.0.0.1:7411 -tenants 2 -rate 2000 -duration 5s
 //	reallocload ... -deadline 50ms -out BENCH_SERVE.json -strict -maxp99us 50000
 //
+// Failover testing: -ackedlog records every acknowledged-OK insert
+// ("I name") and every attempted delete ("D name") the moment it
+// happens, -tolerate-drop makes a mid-run connection loss a counted
+// outcome instead of a failure, and -verify addr replays the acked
+// log against a (promoted) server's snapshots, asserting that every
+// insert the old primary acked — and no later delete touched — is
+// still scheduled. That is the zero-lost-acks check.
+//
+//	reallocload ... -ackedlog acked.log -tolerate-drop   # during the kill
+//	reallocload -verify 127.0.0.1:7413 -ackedlog acked.log
+//
 // Exit status: 0 on a clean run; 1 on transport failure; 2 when
-// -strict finds protocol errors or lost acks, or p99 exceeds -maxp99us.
+// -strict finds protocol errors or lost acks, p99 exceeds -maxp99us,
+// or -verify finds missing acked writes.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +61,7 @@ type Report struct {
 	DeadlineUS    uint64  `json:"deadline_us,omitempty"`
 	Scheduled     int     `json:"scheduled"`
 	Acked         int     `json:"acked"`
+	Dropped       int     `json:"dropped,omitempty"`
 	OK            int     `json:"ok"`
 	Overload      int     `json:"overload"`
 	Deadline      int     `json:"deadline"`
@@ -63,7 +79,51 @@ type Report struct {
 type counters struct {
 	scheduled, acked           atomic.Int64
 	ok, overload, dl, failures atomic.Int64
-	protoErrors                atomic.Int64
+	protoErrors, dropped       atomic.Int64
+}
+
+// ackLog is the durable record of acknowledged writes: one "I name"
+// line per acked-OK insert, one "D name" line per attempted delete.
+// The verify pass treats (acked inserts) minus (attempted deletes) as
+// the set that MUST survive a failover. Lines are flushed on every
+// append — the log must be complete up to the moment the process (or
+// the primary) dies.
+type ackLog struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func openAckLog(path string) (*ackLog, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ackLog{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (a *ackLog) add(op byte, name string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.w.WriteByte(op)
+	a.w.WriteByte(' ')
+	a.w.WriteString(name)
+	a.w.WriteByte('\n')
+	a.w.Flush()
+	a.mu.Unlock()
+}
+
+func (a *ackLog) close() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.w.Flush()
+	a.f.Sync()
+	a.f.Close()
+	a.mu.Unlock()
 }
 
 func main() {
@@ -78,9 +138,28 @@ func main() {
 		out      = flag.String("out", "", "write JSON report to this path")
 		strict   = flag.Bool("strict", false, "exit 2 on protocol errors or lost acks")
 		maxP99US = flag.Float64("maxp99us", 0, "exit 2 if p99 latency exceeds this (µs, 0 = no gate)")
+		ackPath  = flag.String("ackedlog", "", "record acked-OK inserts and attempted deletes to this file")
+		tolerate = flag.Bool("tolerate-drop", false, "count a mid-run connection loss as an outcome, not a failure")
+		verify   = flag.String("verify", "", "verify an -ackedlog against this server's snapshots instead of generating load")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "reallocload: ", log.LstdFlags)
+
+	if *verify != "" {
+		if *ackPath == "" {
+			logger.Fatalf("-verify requires -ackedlog")
+		}
+		os.Exit(runVerify(logger, *verify, *ackPath))
+	}
+
+	var acks *ackLog
+	if *ackPath != "" {
+		var err error
+		if acks, err = openAckLog(*ackPath); err != nil {
+			logger.Fatalf("ackedlog: %v", err)
+		}
+		defer acks.close()
+	}
 
 	lat := hdr.New()
 	var c counters
@@ -91,7 +170,7 @@ func main() {
 		go func(ti int) {
 			defer wg.Done()
 			runTenant(logger, fmt.Sprintf("load-%d", ti), *addr, *rate, *duration,
-				*deadline, *span, *churn, lat, &c)
+				*deadline, *span, *churn, lat, &c, acks, *tolerate)
 		}(ti)
 	}
 	wg.Wait()
@@ -105,12 +184,13 @@ func main() {
 		DurationSec:   duration.Seconds(),
 		Scheduled:     int(c.scheduled.Load()),
 		Acked:         int(c.acked.Load()),
+		Dropped:       int(c.dropped.Load()),
 		OK:            int(c.ok.Load()),
 		Overload:      int(c.overload.Load()),
 		Deadline:      int(c.dl.Load()),
 		Failures:      int(c.failures.Load()),
 		ProtoErrors:   int(c.protoErrors.Load()),
-		LostAcks:      int(c.scheduled.Load() - c.acked.Load()),
+		LostAcks:      int(c.scheduled.Load() - c.acked.Load() - c.dropped.Load()),
 		ThroughputRPS: float64(c.acked.Load()) / wall.Seconds(),
 		P50LatencyUS:  float64(snap.Quantile(0.50)) / 1e3,
 		P90LatencyUS:  float64(snap.Quantile(0.90)) / 1e3,
@@ -122,9 +202,9 @@ func main() {
 		rep.DeadlineUS = uint64(*deadline / time.Microsecond)
 	}
 
-	logger.Printf("%d scheduled, %d acked (%d ok, %d overload, %d deadline, %d failed), p50=%.0fµs p99=%.0fµs max=%.0fµs",
+	logger.Printf("%d scheduled, %d acked (%d ok, %d overload, %d deadline, %d failed), %d dropped, p50=%.0fµs p99=%.0fµs max=%.0fµs",
 		rep.Scheduled, rep.Acked, rep.OK, rep.Overload, rep.Deadline, rep.Failures,
-		rep.P50LatencyUS, rep.P99LatencyUS, rep.MaxLatencyUS)
+		rep.Dropped, rep.P50LatencyUS, rep.P99LatencyUS, rep.MaxLatencyUS)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -149,7 +229,7 @@ func main() {
 
 // runTenant drives one tenant's open-loop schedule to completion.
 func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, deadline time.Duration,
-	span int64, churn int, lat *hdr.Histogram, c *counters) {
+	span int64, churn int, lat *hdr.Histogram, c *counters, acks *ackLog, tolerate bool) {
 	cl, err := client.Dial(addr, tenant)
 	if err != nil {
 		logger.Printf("%s: dial: %v", tenant, err)
@@ -169,31 +249,56 @@ func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, 
 			time.Sleep(d)
 		}
 		var req jobs.Request
+		insert := true
 		name := fmt.Sprintf("%s-%06d", tenant, i)
 		if churn > 0 && i%churn == churn-1 {
-			req = jobs.DeleteReq(fmt.Sprintf("%s-%06d", tenant, i-1))
+			insert = false
+			name = fmt.Sprintf("%s-%06d", tenant, i-1)
+			req = jobs.DeleteReq(name)
 		} else {
 			s := (int64(i) % 16) * span
 			req = jobs.InsertReq(name, s, s+span)
+		}
+		if !insert {
+			// A delete is logged when ATTEMPTED, not when acked: once
+			// it is on the wire the job may be gone whether or not the
+			// ack made it back, so the name can no longer be required
+			// to survive a failover.
+			acks.add('D', name)
 		}
 		c.scheduled.Add(1)
 		p, err := cl.SubmitAsync(req, deadline)
 		if err != nil {
 			// Connection-fatal: everything after this would fail too.
+			if tolerate && isVerdict(err, client.ErrClosed) {
+				logger.Printf("%s: connection lost at request %d (tolerated)", tenant, i)
+				c.dropped.Add(1)
+				break
+			}
 			logger.Printf("%s: submit %d: %v", tenant, i, err)
 			c.protoErrors.Add(1)
 			break
 		}
 		inner.Add(1)
-		go func(due time.Time) {
+		go func(due time.Time, name string, insert bool) {
 			defer inner.Done()
 			err := p.Wait()
+			if tolerate && isVerdict(err, client.ErrClosed) {
+				// The connection died before this ack: the write is in
+				// limbo (it may or may not have committed), which is
+				// exactly what the failover verifier tolerates.
+				c.dropped.Add(1)
+				return
+			}
 			// Latency from the DUE time: coordinated-omission free.
 			lat.Record(int64(time.Since(due)))
 			c.acked.Add(1)
 			switch {
 			case err == nil:
 				c.ok.Add(1)
+				if insert {
+					acks.add('I', name)
+				}
 			case isVerdict(err, client.ErrOverload):
 				c.overload.Add(1)
 			case isVerdict(err, client.ErrDeadline):
@@ -205,11 +310,112 @@ func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, 
 				c.failures.Add(1)
 				c.protoErrors.Add(1)
 			}
-		}(due)
+		}(due, name, insert)
 	}
 	inner.Wait()
 }
 
 func isVerdict(err, target error) bool {
 	return err != nil && errors.Is(err, target)
+}
+
+// runVerify is the zero-lost-acks check: parse the acked log into the
+// per-tenant set of names that MUST still be scheduled (acked-OK
+// inserts with no delete attempt), snapshot each tenant on the
+// (promoted) server, and report anything missing. Returns the process
+// exit code.
+func runVerify(logger *log.Logger, addr, ackPath string) int {
+	f, err := os.Open(ackPath)
+	if err != nil {
+		logger.Printf("verify: %v", err)
+		return 1
+	}
+	defer f.Close()
+
+	// expected[tenant] = set of names that must survive.
+	expected := make(map[string]map[string]bool)
+	// A 'D' line tombstones its name permanently, regardless of where
+	// it appears relative to the 'I' line: waits are pipelined, so the
+	// insert's acked-OK line can land in the log AFTER the delete
+	// attempt for the same name. Names are never reused within a run,
+	// so order-independent tombstoning is exact.
+	deleted := make(map[string]bool)
+	tenantOf := func(name string) string {
+		// Names are "<tenant>-%06d"; the tenant itself may contain '-'.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			return name[:i]
+		}
+		return name
+	}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) < 3 || line[1] != ' ' {
+			continue
+		}
+		op, name := line[0], line[2:]
+		lines++
+		ten := tenantOf(name)
+		set := expected[ten]
+		if set == nil {
+			set = make(map[string]bool)
+			expected[ten] = set
+		}
+		switch op {
+		case 'I':
+			if !deleted[name] {
+				set[name] = true
+			}
+		case 'D':
+			deleted[name] = true
+			delete(set, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		logger.Printf("verify: reading %s: %v", ackPath, err)
+		return 1
+	}
+
+	tenants := make([]string, 0, len(expected))
+	for t := range expected {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+
+	missing, checked := 0, 0
+	for _, ten := range tenants {
+		cl, err := client.Dial(addr, ten, client.WithRedial(10, 200*time.Millisecond))
+		if err != nil {
+			logger.Printf("verify: dial %s as %q: %v", addr, ten, err)
+			return 1
+		}
+		snap, err := cl.Snapshot()
+		cl.Close()
+		if err != nil {
+			logger.Printf("verify: snapshot %q: %v", ten, err)
+			return 1
+		}
+		have := make(map[string]bool, len(snap.Jobs))
+		for _, pj := range snap.Jobs {
+			have[pj.Job.Name] = true
+		}
+		for name := range expected[ten] {
+			checked++
+			if !have[name] {
+				if missing < 20 {
+					logger.Printf("verify: LOST ACK: %q was acked but is not scheduled", name)
+				}
+				missing++
+			}
+		}
+	}
+	logger.Printf("verify: %d log lines, %d required names across %d tenants, %d missing",
+		lines, checked, len(tenants), missing)
+	if missing > 0 {
+		logger.Printf("VERIFY FAIL: %d acked writes lost", missing)
+		return 2
+	}
+	logger.Printf("verify: zero lost acks")
+	return 0
 }

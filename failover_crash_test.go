@@ -1,0 +1,344 @@
+package realloc_test
+
+// The chaos failover harness: a real primary process (server + WAL +
+// replication source) is SIGKILLed mid-burst while an in-process warm
+// follower tails its WAL. The follower must self-promote within a
+// bounded time, and every write the dead primary ACKNOWLEDGED must be
+// present in the promoted schedule — the zero-lost-acks contract. The
+// primary runs as a separate OS process (the test binary re-execs
+// itself, the standard helper-process pattern) because nothing short
+// of kill -9 proves the guarantee: an in-process "crash" cannot model
+// the kernel flushing already-written socket bytes after the process
+// is gone.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	realloc "repro"
+	"repro/client"
+	"repro/internal/jobs"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+const failoverHelperEnv = "REALLOC_FAILOVER_PRIMARY_DIR"
+
+// TestFailoverPrimaryProcess is not a test: it is the primary process
+// body, run only when the harness re-execs the test binary with the
+// env gate set.
+func TestFailoverPrimaryProcess(t *testing.T) {
+	walRoot := os.Getenv(failoverHelperEnv)
+	if walRoot == "" {
+		t.Skip("helper process body; run via TestFailoverCrashPromote")
+	}
+	src := repl.NewSource(repl.SourceConfig{Epoch: 0})
+	replAddr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("repl listen: %v", err)
+	}
+	cfg := server.Config{
+		NewScheduler: func(tenant string) (*shard.Scheduler, error) {
+			dir := walRoot + "/" + repl.TenantDir(tenant)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			obs := src.Export(tenant, dir)
+			s, _, err := realloc.OpenRecovered(dir,
+				realloc.WithShards(2), realloc.WithMachines(8),
+				realloc.WithWALObserver(obs))
+			return s, err
+		},
+	}
+	s, err := server.Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	// The parent parses these two lines to wire everything up.
+	fmt.Printf("PRIMARY_ADDR=%s\n", s.Addr())
+	fmt.Printf("REPL_ADDR=%s\n", replAddr)
+	os.Stdout.Sync()
+	// Serve until killed. The parent SIGKILLs this process; nothing
+	// below the select runs.
+	select {}
+}
+
+// ackTracker mirrors what reallocload's -ackedlog records: the set of
+// names whose insert was acked OK and that no delete attempt touched.
+// That set MUST survive the failover. A delete attempt tombstones the
+// name permanently — the insert's ack can arrive after the delete was
+// already submitted (they are pipelined), and must not resurrect it.
+type ackTracker struct {
+	mu       sync.Mutex
+	required map[string]bool
+	deleted  map[string]bool
+}
+
+func (a *ackTracker) ackedInsert(name string) {
+	a.mu.Lock()
+	if !a.deleted[name] {
+		a.required[name] = true
+	}
+	a.mu.Unlock()
+}
+
+func (a *ackTracker) attemptDelete(name string) {
+	a.mu.Lock()
+	a.deleted[name] = true
+	delete(a.required, name)
+	a.mu.Unlock()
+}
+
+func (a *ackTracker) snapshot() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.required))
+	for n := range a.required {
+		names = append(names, n)
+	}
+	return names
+}
+
+func TestFailoverCrashPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a helper process and runs a multi-second burst")
+	}
+	primaryWAL := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestFailoverPrimaryProcess", "-test.v")
+	cmd.Env = append(os.Environ(), failoverHelperEnv+"="+primaryWAL)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start primary: %v", err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	}()
+
+	var primaryAddr, replAddr string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(30 * time.Second)
+	for (primaryAddr == "" || replAddr == "") && sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "PRIMARY_ADDR="); ok {
+			primaryAddr = v
+		}
+		if v, ok := strings.CutPrefix(line, "REPL_ADDR="); ok {
+			replAddr = v
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if primaryAddr == "" || replAddr == "" {
+		t.Fatalf("primary process never announced its addresses")
+	}
+	// Keep draining the pipe so the child never blocks on stdout.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// The warm follower, in-process: self-promotes once the primary
+	// has been dead for PromoteAfter.
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary: replAddr,
+		Dir:     t.TempDir(),
+		NewScheduler: func(_ string, ck *wal.Checkpoint) (*shard.Scheduler, error) {
+			return realloc.NewShardedFromCheckpoint(ck, realloc.WithShards(2), realloc.WithMachines(8))
+		},
+		PromoteAfter: 500 * time.Millisecond,
+		RedialEvery:  50 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+
+	// The burst: two tenants, pipelined inserts with delete churn,
+	// tracking exactly what the primary acked.
+	const tenants = 2
+	const perTenant = 2000
+	const killAfterAcks = 400
+	track := &ackTracker{required: make(map[string]bool), deleted: make(map[string]bool)}
+	acks := make(chan struct{}, tenants*perTenant)
+
+	clients := make([]*client.Client, tenants)
+	for ti := range clients {
+		c, err := client.Dial(primaryAddr, fmt.Sprintf("chaos-%d", ti))
+		if err != nil {
+			t.Fatalf("dial tenant %d: %v", ti, err)
+		}
+		clients[ti] = c
+		defer c.Close()
+	}
+
+	// Wait for the follower to be warm on both tenants before the
+	// burst: the zero-lost-acks contract covers installed followers.
+	for ti, c := range clients {
+		if err := c.Submit(jobs.InsertReq(fmt.Sprintf("warmup-%d", ti), 1<<40, 1<<40+8)); err != nil {
+			t.Fatalf("warmup insert %d: %v", ti, err)
+		}
+		track.ackedInsert(fmt.Sprintf("warmup-%d", ti))
+	}
+	waitFor(t, "follower warm on both tenants", func() bool {
+		st := fol.Stats()
+		return st.Tenants == tenants && st.Warm == tenants
+	})
+
+	var wg sync.WaitGroup
+	for ti, c := range clients {
+		wg.Add(1)
+		go func(ti int, c *client.Client) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("chaos-%d", ti)
+			var inner sync.WaitGroup
+			for i := 0; i < perTenant; i++ {
+				name := fmt.Sprintf("%s-%06d", tenant, i)
+				var req jobs.Request
+				insert := true
+				if i%5 == 4 {
+					insert = false
+					name = fmt.Sprintf("%s-%06d", tenant, i-1)
+					req = jobs.DeleteReq(name)
+					track.attemptDelete(name)
+				} else {
+					s := int64(i) * 16
+					req = jobs.InsertReq(name, s, s+8)
+				}
+				p, err := c.SubmitAsync(req, 0)
+				if err != nil {
+					if !errors.Is(err, client.ErrClosed) {
+						t.Errorf("%s: submit %d failed untyped: %v", tenant, i, err)
+					}
+					return // primary is dead; the burst is over for this tenant
+				}
+				inner.Add(1)
+				go func(name string, insert bool) {
+					defer inner.Done()
+					err := p.Wait()
+					switch {
+					case err == nil:
+						if insert {
+							track.ackedInsert(name)
+						}
+						acks <- struct{}{}
+					case errors.Is(err, client.ErrClosed):
+						// In limbo: the kill raced this request. Fine.
+					case errors.Is(err, client.ErrDuplicate), errors.Is(err, client.ErrUnknownJob),
+						errors.Is(err, client.ErrOverload), errors.Is(err, client.ErrInfeasible):
+						// Per-request verdict; not acked OK, so not required.
+					default:
+						t.Errorf("%s: %s resolved untyped: %v", tenant, name, err)
+					}
+				}(name, insert)
+				// Pace lightly so the kill lands genuinely mid-burst.
+				if i%64 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			inner.Wait()
+		}(ti, c)
+	}
+
+	// Kill -9 the primary mid-burst.
+	for n := 0; n < killAfterAcks; n++ {
+		<-acks
+	}
+	killAt := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill primary: %v", err)
+	}
+	killed = true
+	t.Logf("primary SIGKILLed after %d acks", killAfterAcks)
+
+	wg.Wait() // every Pending has resolved, typed
+
+	// Bounded recovery: the follower must promote well inside
+	// PromoteAfter + redial slack + promotion work.
+	const recoveryBound = 15 * time.Second
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("follower run: %v", err)
+		}
+	case <-time.After(recoveryBound):
+		t.Fatalf("follower did not promote within %v of the kill", recoveryBound)
+	}
+	recovery := time.Since(killAt)
+	st := fol.Stats()
+	t.Logf("promoted: epoch=%d records=%d requests=%d failures=%d promote_ms=%.1f recovery=%v",
+		st.Epoch, st.Records, st.Requests, st.Failures, st.PromoteMS, recovery)
+	if recovery > recoveryBound {
+		t.Fatalf("recovery took %v, bound is %v", recovery, recoveryBound)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", st.Epoch)
+	}
+
+	// Zero lost acks: every name the dead primary acked (and no delete
+	// touched) is in the promoted schedule.
+	lost := 0
+	for ti := 0; ti < tenants; ti++ {
+		tenant := fmt.Sprintf("chaos-%d", ti)
+		s := fol.Adopt(tenant)
+		if s == nil {
+			t.Fatalf("no promoted scheduler for %s", tenant)
+		}
+		snap := s.Snapshot()
+		have := make(map[string]bool, len(snap.Jobs))
+		for _, j := range snap.Jobs {
+			have[j.Name] = true
+		}
+		for _, name := range track.snapshot() {
+			if !strings.HasPrefix(name, tenant+"-") && !strings.HasPrefix(name, "warmup-") {
+				continue
+			}
+			if strings.HasPrefix(name, "warmup-") && name != fmt.Sprintf("warmup-%d", ti) {
+				continue
+			}
+			if !have[name] {
+				if lost < 10 {
+					t.Errorf("LOST ACK: %s was acked by the primary but is missing after failover", name)
+				}
+				lost++
+			}
+		}
+		s.Close()
+	}
+	if lost > 0 {
+		t.Fatalf("%d acked writes lost in failover", lost)
+	}
+	t.Logf("zero lost acks across %d required names", len(track.snapshot()))
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

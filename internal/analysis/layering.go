@@ -100,6 +100,7 @@ func firstElem(p string) string {
 func DefaultLayerRules() map[string]LayerRule {
 	const (
 		mathx     = "repro/internal/mathx"
+		fault     = "repro/internal/fault"
 		hdr       = "repro/internal/hdr"
 		ident     = "repro/internal/ident"
 		jobs      = "repro/internal/jobs"
@@ -126,6 +127,7 @@ func DefaultLayerRules() map[string]LayerRule {
 		sim       = "repro/internal/sim"
 		analysisP = "repro/internal/analysis"
 		wire      = "repro/internal/wire"
+		repl      = "repro/internal/repl"
 		server    = "repro/internal/server"
 		clientP   = "repro/client"
 		root      = "repro"
@@ -134,6 +136,7 @@ func DefaultLayerRules() map[string]LayerRule {
 	return map[string]LayerRule{
 		// --- leaves: stdlib only ---
 		mathx:     leaf,
+		fault:     {Note: "the unified error vocabulary is a stdlib-only leaf: anything may alias it"},
 		hdr:       leaf,
 		ident:     leaf,
 		analysisP: {Note: "the static-analysis toolkit is itself a stdlib-only leaf"},
@@ -142,8 +145,8 @@ func DefaultLayerRules() map[string]LayerRule {
 		metrics: {Internal: []string{hdr}, Note: "cost/latency currencies; hdr supplies the histogram"},
 		jobs:    {Internal: []string{mathx}, Note: "the shared job model"},
 		align:   {Internal: []string{jobs, mathx}, Note: "pure window geometry"},
-		sched:   {Internal: []string{jobs, metrics}, Note: "the scheduler interface layer"},
-		wal:     {Internal: []string{jobs}, Note: "durability codecs speak the job model only"},
+		sched:   {Internal: []string{fault, jobs, metrics}, Note: "the scheduler interface layer"},
+		wal:     {Internal: []string{fault, jobs}, Note: "durability codecs speak the job model only"},
 		pma:     {Internal: []string{mathx}, Note: "packed-memory array, integer helpers only"},
 
 		// --- single-machine schedulers ---
@@ -160,7 +163,7 @@ func DefaultLayerRules() map[string]LayerRule {
 		// --- composition layers ---
 		multi:    {Internal: []string{ident, jobs, metrics, sched}, Note: "multi-machine delegation over any sched.Scheduler"},
 		alignsch: {Internal: []string{align, ident, jobs, metrics, sched}, Note: "alignment front-end over any sched.Scheduler"},
-		shard: {Internal: []string{hdr, ident, jobs, metrics, sched, wal},
+		shard: {Internal: []string{fault, hdr, ident, jobs, metrics, sched, wal},
 			Note: "concurrent front-end: shards any sched.Scheduler, logs to wal, measures with hdr"},
 
 		// --- harnesses and tooling ---
@@ -174,22 +177,24 @@ func DefaultLayerRules() map[string]LayerRule {
 			Note: "the experiment harness may drive every scheduler"},
 
 		// --- serving stack ---
-		wire: {Internal: []string{jobs, wal},
+		wire: {Internal: []string{fault, jobs, wal},
 			Note: "network frames reuse the WAL's request codec: the on-disk format is the wire format"},
+		repl: {Internal: []string{fault, jobs, sched, shard, wal, wire},
+			Note: "WAL shipping: reads segment bytes, speaks frames, replays into warm shard schedulers"},
 		server: {Internal: []string{jobs, sched, shard, wire},
 			Note: "the multi-tenant front-end drives sharded schedulers; it never touches the public API"},
-		clientP: {Internal: []string{jobs, wire},
+		clientP: {Internal: []string{fault, jobs, wire},
 			Note: "the client library speaks frames and the job model only — no scheduler imports"},
 
 		// --- public API and commands ---
-		root: {Internal: []string{alignsch, core, edf, feasible, jobs, metrics, multi, naive, sched, shard, trim, wal},
+		root: {Internal: []string{alignsch, core, edf, fault, feasible, jobs, metrics, multi, naive, sched, shard, trim, wal},
 			Note: "the public API composes the stacks; internals never import it back"},
 		"repro/cmd/reallocbench": {Internal: []string{root, hdr, jobs, metrics, workload}},
 		"repro/cmd/reallocsim":   {Internal: []string{sim}},
 		"repro/cmd/realloctrace": {Internal: []string{root, core, edf, naive, sched, stress, trace, wal, workload}},
 		"repro/cmd/reallocvet":   {Internal: []string{analysisP}, Note: "the multichecker wraps the analysis toolkit"},
-		"repro/cmd/reallocd": {Internal: []string{root, server, shard},
-			Note: "the daemon composes public-API schedulers into the server"},
+		"repro/cmd/reallocd": {Internal: []string{root, repl, server, shard, wal},
+			Note: "the daemon composes public-API schedulers into the server and replication stack"},
 		"repro/cmd/reallocload": {Internal: []string{clientP, hdr, jobs},
 			Note: "the load generator is a pure client: frames in, histograms out"},
 

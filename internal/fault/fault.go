@@ -1,0 +1,63 @@
+// Package fault is the repository's unified error vocabulary: one
+// canonical sentinel per failure class, shared by every layer that can
+// raise it.
+//
+// The scheduler stacks (internal/sched, internal/shard), the durability
+// layer (internal/wal), the network codec (internal/wire), and the
+// client library all alias these values rather than defining parallel
+// species, and the public realloc package re-exports them. The payoff
+// is that callers branch on one errors.Is target no matter where a
+// fault was raised: errors.Is(err, realloc.ErrOverload) holds whether
+// the overload came from the embedded scheduler's admission path, a
+// wire-level CodeOverload ack, or the network client's decode of one.
+//
+// The package is a stdlib-only leaf (see internal/analysis layering):
+// anything may import it, it imports nothing.
+package fault
+
+import "errors"
+
+var (
+	// ErrClosed reports an operation against a component that has shut
+	// down: a closed scheduler, WAL, server connection, or client.
+	ErrClosed = errors.New("realloc: closed")
+
+	// ErrOverload reports admission-control rejection: the component's
+	// bounded inflight budget was exhausted and the request was refused
+	// without being executed. Retry with backoff.
+	ErrOverload = errors.New("realloc: overloaded, retry with backoff")
+
+	// ErrDeadlineExceeded reports a request whose deadline passed before
+	// it was executed. The request mutated nothing and was never logged.
+	ErrDeadlineExceeded = errors.New("realloc: request deadline exceeded")
+
+	// ErrInfeasible reports that no feasible placement exists — the
+	// instance is not feasible, or (for the reservation scheduler) not
+	// sufficiently underallocated.
+	ErrInfeasible = errors.New("realloc: no feasible placement (instance not sufficiently underallocated)")
+
+	// ErrDuplicateJob reports an insert of a job name that is already
+	// active.
+	ErrDuplicateJob = errors.New("realloc: job already active")
+
+	// ErrUnknownJob reports a delete of a job name that is not active.
+	ErrUnknownJob = errors.New("realloc: unknown job")
+
+	// ErrMisaligned reports a window rejected by an aligned-only
+	// scheduler.
+	ErrMisaligned = errors.New("realloc: window is not aligned")
+
+	// ErrNotElastic reports a resize against a scheduler (or wrapper
+	// chain) that does not support changing its machine pool.
+	ErrNotElastic = errors.New("realloc: scheduler does not support resizing")
+
+	// ErrBadRequest reports a request the receiver could not parse or
+	// validate: malformed frame payloads, out-of-range fields.
+	ErrBadRequest = errors.New("realloc: bad request")
+
+	// ErrFenced reports an operation refused because a newer fencing
+	// epoch exists: the node that received it has been deposed as
+	// primary (or the peer is stale). See internal/wire for the epoch
+	// rule.
+	ErrFenced = errors.New("realloc: fenced by a newer primary epoch")
+)

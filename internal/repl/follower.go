@@ -1,0 +1,632 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// FollowerConfig configures a warm follower.
+type FollowerConfig struct {
+	// Primary is the primary's replication address (host:port).
+	Primary string
+	// Dir is the follower's replication root: the fencing-epoch file
+	// lives directly under it and each tenant's mirrored WAL in
+	// Dir/TenantDir(tenant).
+	Dir string
+	// NewScheduler builds the warm scheduler a tenant's shipped
+	// checkpoint is installed into (ck is nil when the primary had no
+	// checkpoint yet). Normally a realloc.NewShardedFromCheckpoint
+	// closure; it must use the same options the primary runs with so
+	// tail replay reproduces the primary's decisions.
+	NewScheduler func(tenant string, ck *wal.Checkpoint) (*shard.Scheduler, error)
+	// Fsync is passed to the WALs opened at promotion.
+	Fsync bool
+	// PromoteAfter, when positive, self-promotes after the primary has
+	// been unreachable this long. Zero means only an explicit Promote
+	// frame or PromoteNow promotes.
+	PromoteAfter time.Duration
+	// RedialEvery is the pause between dial attempts (default 250ms).
+	RedialEvery time.Duration
+	// DialTimeout bounds each dial and the handshake read (default 5s).
+	DialTimeout time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) fill() error {
+	if c.Primary == "" {
+		return errors.New("repl: FollowerConfig.Primary is empty")
+	}
+	if c.Dir == "" {
+		return errors.New("repl: FollowerConfig.Dir is empty")
+	}
+	if c.NewScheduler == nil {
+		return errors.New("repl: FollowerConfig.NewScheduler is nil")
+	}
+	if c.RedialEvery <= 0 {
+		c.RedialEvery = 250 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// replica is one tenant's warm state: the scheduler records replay
+// into, the mirror of the primary's segment files, and the ingest
+// cursor that keeps the byte stream contiguous.
+type replica struct {
+	tenant string
+	dir    string
+	sched  *shard.Scheduler
+
+	minSeg  uint64           // first segment not covered by the checkpoint
+	seg     uint64           // segment currently being ingested (0 = none yet)
+	written int64            // contiguous bytes ingested into seg
+	done    map[uint64]int64 // finished segments -> their final size
+	file    *os.File         // mirror of segment seg
+	buf     []byte           // ingested bytes not yet forming a whole record
+	hdrSkip int              // header bytes of seg still to drop before records
+
+	installed bool
+	records   int
+	requests  int
+	failures  int
+}
+
+// FollowerStats is a point-in-time snapshot of a follower's progress.
+type FollowerStats struct {
+	Tenants   int     // tenants with state installed
+	Warm      int     // tenants fully installed (snapshot complete)
+	Records   int     // WAL records replayed across all tenants
+	Requests  int     // individual requests those records carried
+	Failures  int     // replay rejections (benign checkpoint overlap)
+	Epoch     uint64  // highest fencing epoch seen (or persisted)
+	Promoted  bool    // promotion has completed
+	PromoteMS float64 // wall-clock promotion work, milliseconds
+	Reason    string  // what triggered the promotion
+}
+
+// Follower mirrors a primary's WALs and keeps warm schedulers one
+// record behind the primary's acknowledgements. Run drives it; after
+// promotion (explicit, manual, or timeout) the schedulers are
+// WAL-attached and ready to serve, and Adopt hands them out.
+type Follower struct {
+	cfg FollowerConfig
+
+	mu       sync.Mutex
+	tenants  map[string]*replica
+	epoch    uint64
+	promoted bool
+	stats    FollowerStats
+
+	promoteReq atomic.Bool // PromoteNow was called
+	promotedCh chan struct{}
+	closedCh   chan struct{}
+	closeOnce  sync.Once
+
+	connMu sync.Mutex
+	conn   net.Conn // live primary connection, for interrupt kicks
+}
+
+// NewFollower builds a Follower rooted at cfg.Dir, resuming the
+// persisted fencing epoch if one exists.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	epoch, err := ReadEpoch(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{
+		cfg:        cfg,
+		tenants:    make(map[string]*replica),
+		epoch:      epoch,
+		promotedCh: make(chan struct{}),
+		closedCh:   make(chan struct{}),
+	}, nil
+}
+
+// Promoted is closed once promotion completes.
+func (f *Follower) Promoted() <-chan struct{} { return f.promotedCh }
+
+// Epoch returns the highest fencing epoch seen so far.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Stats snapshots replication progress.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Epoch = f.epoch
+	st.Promoted = f.promoted
+	for _, r := range f.tenants {
+		st.Tenants++
+		if r.installed {
+			st.Warm++
+		}
+		st.Records += r.records
+		st.Requests += r.requests
+		st.Failures += r.failures
+	}
+	return st
+}
+
+// PromoteNow promotes without waiting for a Promote frame or the
+// primary-loss timeout. Safe from any goroutine; idempotent.
+func (f *Follower) PromoteNow() {
+	f.promoteReq.Store(true)
+	f.kickConn()
+}
+
+// Close stops Run without promoting. The replicas are discarded.
+func (f *Follower) Close() error {
+	f.closeOnce.Do(func() { close(f.closedCh) })
+	f.kickConn()
+	return nil
+}
+
+func (f *Follower) kickConn() {
+	f.connMu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.connMu.Unlock()
+}
+
+func (f *Follower) setConn(nc net.Conn) {
+	f.connMu.Lock()
+	f.conn = nc
+	f.connMu.Unlock()
+}
+
+// Adopt hands tenant's promoted scheduler to the caller (nil if the
+// follower never installed that tenant). Call only after Promoted is
+// closed; ownership transfers, and a second Adopt returns nil.
+func (f *Follower) Adopt(tenant string) *shard.Scheduler {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.tenants[tenant]
+	if r == nil || !f.promoted {
+		return nil
+	}
+	delete(f.tenants, tenant)
+	return r.sched
+}
+
+// Tenants lists the tenants with adoptable schedulers.
+func (f *Follower) Tenants() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.tenants))
+	for t := range f.tenants {
+		names = append(names, t)
+	}
+	return names
+}
+
+// Run follows the primary until promotion or Close: dial, handshake,
+// ingest frames; on connection loss redial, and if the primary stays
+// unreachable past PromoteAfter (when set), self-promote. Returns nil
+// after a successful promotion or Close, an error only for fatal
+// local failures (a corrupt mirror, a failed promotion).
+func (f *Follower) Run() error {
+	lastContact := time.Now()
+	for {
+		select {
+		case <-f.closedCh:
+			f.discard()
+			return nil
+		default:
+		}
+		if f.promoteReq.Load() {
+			return f.promote(0, "operator request")
+		}
+		if f.cfg.PromoteAfter > 0 && time.Since(lastContact) >= f.cfg.PromoteAfter {
+			return f.promote(0, fmt.Sprintf("primary unreachable for %v", f.cfg.PromoteAfter))
+		}
+		nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+		if err != nil {
+			f.sleep()
+			continue
+		}
+		promoted, serr := f.session(nc)
+		nc.Close()
+		f.setConn(nil)
+		if promoted {
+			return serr
+		}
+		if serr != nil {
+			var fatal *fatalError
+			if errors.As(serr, &fatal) {
+				f.discard()
+				return serr
+			}
+			f.cfg.Logf("repl: session ended: %v", serr)
+		}
+		lastContact = time.Now()
+		f.sleep()
+	}
+}
+
+func (f *Follower) sleep() {
+	select {
+	case <-time.After(f.cfg.RedialEvery):
+	case <-f.closedCh:
+	}
+}
+
+// fatalError marks local failures no reconnect can fix.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// session runs one primary connection: handshake, then the frame loop.
+// It returns (true, err) when the session ended in a promotion.
+func (f *Follower) session(nc net.Conn) (bool, error) {
+	f.setConn(nc)
+	f.mu.Lock()
+	epoch := f.epoch
+	f.mu.Unlock()
+	buf, err := wire.WriteFrame(nc, nil, &wire.Frame{Kind: wire.KindFollow, Version: wire.Version, Epoch: epoch})
+	if err != nil {
+		return false, err
+	}
+	nc.SetReadDeadline(time.Now().Add(f.cfg.DialTimeout))
+	fr, buf, err := wire.ReadFrame(nc, buf)
+	if err != nil {
+		return false, err
+	}
+	switch fr.Kind {
+	case wire.KindFollowAck:
+	case wire.KindErr:
+		return false, fmt.Errorf("repl: primary refused follow: %s (%s)", fr.Code, fr.Detail)
+	default:
+		return false, fmt.Errorf("repl: expected FollowAck, got %v", fr.Kind)
+	}
+	f.mu.Lock()
+	if fr.Epoch > f.epoch {
+		f.epoch = fr.Epoch
+	}
+	f.mu.Unlock()
+	nc.SetReadDeadline(time.Time{})
+	f.cfg.Logf("repl: following %s at epoch %d", f.cfg.Primary, fr.Epoch)
+
+	for {
+		fr, buf, err = wire.ReadFrame(nc, buf)
+		if err != nil {
+			// Connection loss, Close, or a PromoteNow kick. The read
+			// loop has already ingested everything the primary managed
+			// to send before dying — the kernel delivers buffered bytes
+			// even after a SIGKILL.
+			return false, err
+		}
+		switch fr.Kind {
+		case wire.KindCheckpointInstall:
+			err = f.install(fr.Tenant, fr.Data)
+		case wire.KindSegmentChunk, wire.KindTail:
+			err = f.ingest(fr.Tenant, fr.Seg, fr.Off, fr.Data)
+		case wire.KindInstalled:
+			f.markInstalled(fr.Tenant)
+		case wire.KindPromote:
+			f.cfg.Logf("repl: primary handed off: %s", fr.Detail)
+			if perr := f.promote(fr.Epoch, "primary handoff"); perr != nil {
+				return true, perr
+			}
+			nc.SetWriteDeadline(time.Now().Add(f.cfg.DialTimeout))
+			wire.WriteFrame(nc, buf[:0], &wire.Frame{Kind: wire.KindPromoteAck, Epoch: f.Epoch()})
+			return true, nil
+		default:
+			err = fmt.Errorf("repl: unexpected %v frame", fr.Kind)
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+}
+
+// install begins (or restarts) tenant's snapshot: wipe the local
+// mirror, persist the checkpoint image, and build a warm scheduler
+// from it. A reconnect replays the whole install, so any partial state
+// from a broken session is discarded wholesale.
+func (f *Follower) install(tenant string, ckData []byte) error {
+	dir := filepath.Join(f.cfg.Dir, TenantDir(tenant))
+	var ck *wal.Checkpoint
+	if len(ckData) > 0 {
+		var err error
+		if ck, err = wal.DecodeCheckpoint(ckData); err != nil {
+			return fmt.Errorf("repl: shipped checkpoint for %q: %w", tenant, err)
+		}
+	}
+	f.mu.Lock()
+	if old := f.tenants[tenant]; old != nil {
+		old.close()
+		delete(f.tenants, tenant)
+	}
+	f.mu.Unlock()
+	if err := os.RemoveAll(dir); err != nil {
+		return &fatalError{fmt.Errorf("repl: reset mirror for %q: %w", tenant, err)}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return &fatalError{fmt.Errorf("repl: create mirror for %q: %w", tenant, err)}
+	}
+	if len(ckData) > 0 {
+		if err := writeFileSync(wal.CheckpointPath(dir), ckData); err != nil {
+			return &fatalError{fmt.Errorf("repl: persist checkpoint for %q: %w", tenant, err)}
+		}
+	}
+	s, err := f.cfg.NewScheduler(tenant, ck)
+	if err != nil {
+		return &fatalError{fmt.Errorf("repl: build scheduler for %q: %w", tenant, err)}
+	}
+	r := &replica{tenant: tenant, dir: dir, sched: s, minSeg: 1, done: make(map[uint64]int64)}
+	if ck != nil {
+		r.minSeg = ck.StartSeg
+	}
+	f.mu.Lock()
+	f.tenants[tenant] = r
+	f.mu.Unlock()
+	f.cfg.Logf("repl: installing %q (checkpoint: %d jobs, replay from segment %d)",
+		tenant, ckJobs(ck), r.minSeg)
+	return nil
+}
+
+func ckJobs(ck *wal.Checkpoint) int {
+	if ck == nil {
+		return 0
+	}
+	return len(ck.Jobs)
+}
+
+func (f *Follower) markInstalled(tenant string) {
+	f.mu.Lock()
+	n := -1
+	if r := f.tenants[tenant]; r != nil {
+		r.installed = true
+		n = r.records
+	}
+	f.mu.Unlock()
+	if n >= 0 {
+		f.cfg.Logf("repl: %q installed (%d records replayed so far)", tenant, n)
+	}
+}
+
+// ingest feeds one shipped byte span into tenant's replica: mirror it
+// to the local segment file and replay every newly completed record.
+// Spans for one tenant arrive in replayable order (install chunks,
+// then the tails buffered during install, then live tails), possibly
+// overlapping; the (seg, written) cursor dedupes overlaps and rejects
+// gaps — a gap means the stream is corrupt and the session must
+// restart with a fresh install.
+func (f *Follower) ingest(tenant string, seg uint64, off int64, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.tenants[tenant]
+	if r == nil {
+		return fmt.Errorf("repl: span for %q before its CheckpointInstall", tenant)
+	}
+	if seg < r.minSeg {
+		return nil // covered by the installed checkpoint image
+	}
+	if r.seg != 0 && seg < r.seg {
+		// A replayed overlap from the install/live handover: it must be
+		// fully contained in what we already ingested.
+		if end, ok := r.done[seg]; !ok || off+int64(len(data)) > end {
+			return fmt.Errorf("repl: %q segment %d span [%d,%d) outside ingested prefix", tenant, seg, off, off+int64(len(data)))
+		}
+		return nil
+	}
+	if r.seg == 0 || seg > r.seg {
+		// Advancing to a new segment: the previous one must have ended
+		// on a record boundary, and the new one must start at 0.
+		if len(r.buf) > 0 {
+			return fmt.Errorf("repl: %q segment %d ended mid-record (%d dangling bytes)", tenant, r.seg, len(r.buf))
+		}
+		if off != 0 {
+			return fmt.Errorf("repl: %q segment %d starts at offset %d, want 0", tenant, seg, off)
+		}
+		if r.file != nil {
+			r.done[r.seg] = r.written
+			r.file.Close()
+		}
+		file, err := os.OpenFile(wal.SegmentPath(r.dir, seg), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return &fatalError{fmt.Errorf("repl: mirror segment %d for %q: %w", seg, tenant, err)}
+		}
+		r.seg, r.written, r.file, r.hdrSkip = seg, 0, file, wal.SegmentHeaderLen
+	}
+	if off > r.written {
+		return fmt.Errorf("repl: %q segment %d gap: span starts at %d, ingested through %d", tenant, seg, off, r.written)
+	}
+	if _, err := r.file.WriteAt(data, off); err != nil {
+		return &fatalError{fmt.Errorf("repl: mirror write %q segment %d: %w", tenant, seg, err)}
+	}
+	if off+int64(len(data)) <= r.written {
+		return nil // complete overlap, already replayed
+	}
+	fresh := data[r.written-off:]
+	r.written += int64(len(fresh))
+	if r.hdrSkip > 0 {
+		n := r.hdrSkip
+		if n > len(fresh) {
+			n = len(fresh)
+		}
+		r.hdrSkip -= n
+		fresh = fresh[n:]
+	}
+	r.buf = append(r.buf, fresh...)
+	recs, valid := wal.ScanRecords(r.buf)
+	for _, rec := range recs {
+		r.apply(rec)
+	}
+	r.buf = r.buf[:copy(r.buf, r.buf[valid:])]
+	return nil
+}
+
+// apply replays one record through the normal admission paths with
+// logging off — the same discipline as realloc.OpenRecovered's replay.
+// Rejections are counted, not fatal: a request that failed on the
+// primary mutated state the same way the failed replay does, and
+// checkpoint-overlap duplicates are benign by design.
+func (r *replica) apply(rec wal.Record) {
+	r.records++
+	switch rec.Kind {
+	case wal.KindRequest:
+		r.requests++
+		if _, err := r.sched.Apply(rec.Req); err != nil {
+			r.failures++
+		}
+	case wal.KindBatch:
+		r.requests += len(rec.Batch)
+		if _, err := r.sched.ApplyBatch(rec.Batch); err != nil {
+			var be *sched.BatchError
+			if errors.As(err, &be) {
+				r.failures += be.Failed
+			} else {
+				r.failures++
+			}
+		}
+	case wal.KindResize:
+		var err error
+		if rec.Resize.Shard >= 0 {
+			_, err = r.sched.ResizeShard(rec.Resize.Shard, rec.Resize.Delta)
+		} else {
+			_, err = r.sched.Resize(rec.Resize.Machines)
+		}
+		if err != nil {
+			r.failures++
+		}
+	}
+}
+
+func (r *replica) close() {
+	if r.file != nil {
+		r.file.Close()
+		r.file = nil
+	}
+	if r.sched != nil {
+		r.sched.Close()
+		r.sched = nil
+	}
+}
+
+// discard drops every replica without promoting (Close path).
+func (f *Follower) discard() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for t, r := range f.tenants {
+		r.close()
+		delete(f.tenants, t)
+	}
+}
+
+// promote turns the follower into a primary: persist the fencing epoch
+// (max(seen, wire)+1 for self-promotion, the wire epoch for an
+// explicit handoff), then for every installed tenant sync the mirror,
+// open its WAL, and attach it to the warm scheduler. After promote the
+// schedulers append to their own logs and Adopt hands them out.
+// Partially installed tenants are discarded loudly: their mirrors are
+// incomplete and must not serve.
+func (f *Follower) promote(wireEpoch uint64, reason string) error {
+	start := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil
+	}
+	newEpoch := wireEpoch
+	if newEpoch <= f.epoch {
+		newEpoch = f.epoch + 1
+	}
+	// The fence: the epoch is durable BEFORE any write is accepted, so
+	// a zombie primary can be recognized by any future follower.
+	if err := WriteEpoch(f.cfg.Dir, newEpoch); err != nil {
+		return &fatalError{fmt.Errorf("repl: persist epoch %d: %w", newEpoch, err)}
+	}
+	f.epoch = newEpoch
+	for t, r := range f.tenants {
+		if !r.installed {
+			f.cfg.Logf("repl: DISCARDING partially installed tenant %q at promotion: its mirror is incomplete", t)
+			r.close()
+			delete(f.tenants, t)
+			continue
+		}
+		if r.file != nil {
+			if err := r.file.Sync(); err != nil {
+				return &fatalError{fmt.Errorf("repl: sync mirror for %q: %w", t, err)}
+			}
+			r.file.Close()
+			r.file = nil
+		}
+		// wal.Open re-reads the mirror (validating headers and CRCs)
+		// and truncates any trailing partial record — bytes the replica
+		// ingested but never replayed, so the on-disk log and the warm
+		// scheduler end at the same record.
+		log, _, err := wal.Open(r.dir, wal.Options{Fsync: f.cfg.Fsync})
+		if err != nil {
+			return &fatalError{fmt.Errorf("repl: open promoted WAL for %q: %w", t, err)}
+		}
+		r.sched.AttachWAL(log)
+	}
+	f.promoted = true
+	f.stats.PromoteMS = float64(time.Since(start).Microseconds()) / 1000
+	f.stats.Reason = reason
+	close(f.promotedCh)
+	f.cfg.Logf("repl: PROMOTED at epoch %d in %.1fms (%s)", newEpoch, f.stats.PromoteMS, reason)
+	return nil
+}
+
+// writeFileSync writes data durably: temp file, fsync, rename, dir sync.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	g, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := g.Write(data); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := g.Sync(); err != nil {
+		g.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := g.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

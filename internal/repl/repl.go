@@ -1,0 +1,119 @@
+// Package repl ships the write-ahead log to warm followers and hands
+// the primary role over on failure.
+//
+// The primary side is a Source: each tenant's WAL registers a shipping
+// feed (Export returns the wal.Options.Observer callback), and every
+// connected follower receives, per tenant, the latest checkpoint image
+// (KindCheckpointInstall), the retained segment files
+// (KindSegmentChunk), an end-of-snapshot marker (KindInstalled), and
+// from then on every group commit the moment it is durable
+// (KindTail). Because the WAL observer runs after the write and
+// before the acknowledgement callbacks, a write acked to a client has
+// always been handed to the shipper first: for a follower that has
+// finished installing, acked ⇒ shipped.
+//
+// The follower side is a Follower: it dials the primary, installs each
+// tenant's checkpoint into a warm shard.Scheduler (built by the
+// caller, normally via realloc.NewShardedFromCheckpoint), mirrors the
+// shipped segment bytes to its own WAL directory, and replays each
+// complete record through the normal admission paths with logging off
+// — the same replay discipline as realloc.OpenRecovered. Promotion
+// (explicit KindPromote from a sealing primary, PromoteNow, or a
+// primary-loss timeout) persists the new fencing epoch, opens the
+// mirrored WALs, and attaches them, leaving fully warm schedulers
+// ready to serve.
+//
+// Fencing follows the rule documented with the wire replication kinds:
+// a follower promotes to epoch max(seen)+1 and persists it before
+// accepting writes; a Source whose epoch is below a connecting
+// follower's knows it has been deposed and refuses with CodeFenced.
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// TenantDir maps a tenant name to a filesystem-safe directory name:
+// ASCII letters, digits, '-', '_' and '.' pass through, everything
+// else is %XX-escaped. The mapping is injective, so two tenants never
+// share a WAL directory. The primary (cmd/reallocd) and the follower
+// use the same mapping, which keeps their directory layouts
+// comparable.
+func TenantDir(tenant string) string {
+	var b strings.Builder
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// epochFile is the name of the fencing-epoch file under a replication
+// root directory.
+const epochFile = "EPOCH"
+
+// ReadEpoch returns the fencing epoch persisted under root, or 0 when
+// none has ever been written (a first-generation primary).
+func ReadEpoch(root string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(root, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: corrupt epoch file %s: %w", filepath.Join(root, epochFile), err)
+	}
+	return n, nil
+}
+
+// WriteEpoch durably persists the fencing epoch under root
+// (write-to-temp, fsync, rename, fsync dir). Promotion calls this
+// BEFORE the follower starts accepting writes — that ordering is what
+// makes the epoch a fence.
+func WriteEpoch(root string, epoch uint64) error {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(root, epochFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(strconv.FormatUint(epoch, 10) + "\n"); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(root); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

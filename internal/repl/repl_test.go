@@ -1,0 +1,394 @@
+package repl_test
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	realloc "repro"
+	"repro/internal/jobs"
+	"repro/internal/repl"
+	"repro/internal/shard"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+func TestTenantDir(t *testing.T) {
+	cases := map[string]string{
+		"acme":      "acme",
+		"a/b":       "a%2Fb",
+		"..":        "..", // dots pass through; the %XX escape keeps '/' out
+		"Ünicode":   "%C3%9Cnicode",
+		"a b":       "a%20b",
+		"x-y_z.9":   "x-y_z.9",
+		"":          "",
+		"load-0":    "load-0",
+		"per%cent":  "per%25cent",
+		"tab\there": "tab%09here",
+	}
+	for in, want := range cases {
+		if got := repl.TenantDir(in); got != want {
+			t.Errorf("TenantDir(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Injectivity spot check: escaping distinguishes the escape char.
+	if repl.TenantDir("a%2Fb") == repl.TenantDir("a/b") {
+		t.Error("TenantDir is not injective: the escaped and raw forms collide")
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := repl.ReadEpoch(dir); err != nil || e != 0 {
+		t.Fatalf("fresh dir: ReadEpoch = %d, %v; want 0, nil", e, err)
+	}
+	if err := repl.WriteEpoch(dir, 7); err != nil {
+		t.Fatalf("WriteEpoch: %v", err)
+	}
+	if e, err := repl.ReadEpoch(dir); err != nil || e != 7 {
+		t.Fatalf("ReadEpoch = %d, %v; want 7, nil", e, err)
+	}
+}
+
+// stackOptions is the scheduler configuration shared by the primary
+// and the follower — replay only reproduces the primary's decisions
+// when both sides run the same stack.
+func stackOptions() []realloc.Option {
+	return []realloc.Option{realloc.WithMachines(8), realloc.WithShards(2)}
+}
+
+func newFollowerSched(_ string, ck *wal.Checkpoint) (*shard.Scheduler, error) {
+	return realloc.NewShardedFromCheckpoint(ck, stackOptions()...)
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func sameSnapshot(t *testing.T, what string, want, got shard.Snapshot) {
+	t.Helper()
+	if len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("%s: %d jobs, want %d", what, len(got.Jobs), len(want.Jobs))
+	}
+	if len(got.Assignment) != len(want.Assignment) {
+		t.Fatalf("%s: %d placements, want %d", what, len(got.Assignment), len(want.Assignment))
+	}
+	for name, pl := range want.Assignment {
+		g, ok := got.Assignment[name]
+		if !ok {
+			t.Fatalf("%s: job %q missing", what, name)
+		}
+		if g != pl {
+			t.Fatalf("%s: job %q placed at %+v, want %+v", what, name, g, pl)
+		}
+	}
+}
+
+// TestWarmFollowerPromoteNow is the end-to-end happy path: a follower
+// connects before any writes, stays one group commit behind through a
+// mid-stream checkpoint, and an operator promotion yields a scheduler
+// whose schedule matches the primary's exactly.
+func TestWarmFollowerPromoteNow(t *testing.T) {
+	primaryDir := t.TempDir()
+	src := repl.NewSource(repl.SourceConfig{Epoch: 0, Logf: t.Logf})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer src.Close()
+
+	obs := src.Export("acme", primaryDir)
+	prim, _, err := realloc.OpenRecovered(primaryDir,
+		append(stackOptions(), realloc.WithWALObserver(obs))...)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	defer prim.Close()
+
+	folDir := t.TempDir()
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          folDir,
+		NewScheduler: newFollowerSched,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+	waitUntil(t, "follower warm", func() bool { return fol.Stats().Warm == 1 })
+
+	records := 0
+	for i := 0; i < 150; i++ {
+		r := jobs.InsertReq(fmt.Sprintf("job-%03d", i), jobs.Time(i*16), jobs.Time(i*16+8))
+		if _, err := prim.Apply(r); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		records++
+		if i == 75 {
+			if err := prim.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := prim.Apply(jobs.DeleteReq(fmt.Sprintf("job-%03d", i*3))); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		records++
+	}
+	want := prim.Snapshot()
+
+	// Every one of those Applies was acked only after its group commit
+	// was handed to the shipper, so the follower converges on exactly
+	// `records` replayed records.
+	waitUntil(t, "tail replay", func() bool { return fol.Stats().Records >= records })
+	if st := fol.Stats(); st.Records != records {
+		t.Fatalf("follower replayed %d records, want %d", st.Records, records)
+	}
+	if st := fol.Stats(); st.Failures != 0 {
+		t.Fatalf("follower counted %d replay failures, want 0", st.Failures)
+	}
+
+	fol.PromoteNow()
+	if err := <-runErr; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	if e, _ := repl.ReadEpoch(folDir); e != 1 {
+		t.Fatalf("promoted epoch on disk = %d, want 1", e)
+	}
+
+	adopted := fol.Adopt("acme")
+	if adopted == nil {
+		t.Fatal("Adopt returned nil after promotion")
+	}
+	defer adopted.Close()
+	sameSnapshot(t, "promoted follower", want, adopted.Snapshot())
+
+	// The promoted scheduler is a real primary: it accepts new writes
+	// and logs them to its own (mirrored, now attached) WAL.
+	if _, err := adopted.Apply(jobs.InsertReq("post-promote", 100000, 100008)); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if fol.Adopt("acme") != nil {
+		t.Fatal("second Adopt should return nil")
+	}
+}
+
+// TestLateJoinSelfPromote covers the other failover leg: a follower
+// that installs an existing checkpoint + segment residue (late join),
+// loses the primary, and self-promotes after PromoteAfter. The
+// promoted state must match the primary's final schedule, and survive
+// a cold restart from the mirrored directory.
+func TestLateJoinSelfPromote(t *testing.T) {
+	primaryDir := t.TempDir()
+	src := repl.NewSource(repl.SourceConfig{Epoch: 0, Logf: t.Logf})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	obs := src.Export("acme", primaryDir)
+	prim, _, err := realloc.OpenRecovered(primaryDir,
+		append(stackOptions(), realloc.WithWALObserver(obs))...)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := prim.Apply(jobs.InsertReq(fmt.Sprintf("early-%02d", i), jobs.Time(i*16), jobs.Time(i*16+8))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := prim.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := prim.Apply(jobs.InsertReq(fmt.Sprintf("late-%02d", i), jobs.Time((i+100)*16), jobs.Time((i+100)*16+8))); err != nil {
+			t.Fatalf("residue insert %d: %v", i, err)
+		}
+	}
+	want := prim.Snapshot()
+
+	folDir := t.TempDir()
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          folDir,
+		NewScheduler: newFollowerSched,
+		PromoteAfter: 300 * time.Millisecond,
+		RedialEvery:  20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+	waitUntil(t, "late join install", func() bool {
+		st := fol.Stats()
+		return st.Warm == 1 && st.Records >= 40 // the 40 post-checkpoint records
+	})
+
+	// Primary dies; the follower self-promotes once the loss outlasts
+	// PromoteAfter.
+	prim.Close()
+	src.Close()
+	if err := <-runErr; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	st := fol.Stats()
+	if !st.Promoted {
+		t.Fatalf("follower stats not promoted: %+v", st)
+	}
+	if e := fol.Epoch(); e != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", e)
+	}
+
+	adopted := fol.Adopt("acme")
+	if adopted == nil {
+		t.Fatal("Adopt returned nil after self-promotion")
+	}
+	sameSnapshot(t, "self-promoted follower", want, adopted.Snapshot())
+	if _, err := adopted.Apply(jobs.InsertReq("fresh", 1000000, 1000008)); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	adopted.Close()
+
+	// Cold restart: the mirror is a real WAL directory.
+	reopened, rec, err := realloc.OpenRecovered(filepath.Join(folDir, repl.TenantDir("acme")), stackOptions()...)
+	if err != nil {
+		t.Fatalf("reopen mirrored WAL: %v", err)
+	}
+	defer reopened.Close()
+	if !rec.CheckpointLoaded {
+		t.Error("mirrored directory lost the checkpoint image")
+	}
+	snap := reopened.Snapshot()
+	if len(snap.Jobs) != len(want.Jobs)+1 { // +1 for "fresh"
+		t.Fatalf("cold restart holds %d jobs, want %d", len(snap.Jobs), len(want.Jobs)+1)
+	}
+}
+
+// TestFencedPrimaryRefused: a follower that promoted past the primary
+// proves the primary deposed — the handshake must be refused with
+// CodeFenced and the Source must surface Fenced().
+func TestFencedPrimaryRefused(t *testing.T) {
+	src := repl.NewSource(repl.SourceConfig{Epoch: 3, Logf: t.Logf})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer src.Close()
+
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	buf, err := wire.WriteFrame(nc, nil, &wire.Frame{Kind: wire.KindFollow, Version: wire.Version, Epoch: 5})
+	if err != nil {
+		t.Fatalf("write follow: %v", err)
+	}
+	fr, _, err := wire.ReadFrame(nc, buf)
+	if err != nil {
+		t.Fatalf("read refusal: %v", err)
+	}
+	if fr.Kind != wire.KindErr || fr.Code != wire.CodeFenced {
+		t.Fatalf("got %v/%v, want Err/CodeFenced", fr.Kind, fr.Code)
+	}
+	if !src.Fenced() {
+		t.Error("source did not record being fenced")
+	}
+
+	// An equal-epoch follower is fine: fencing only trips on HIGHER.
+	nc2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer nc2.Close()
+	buf, err = wire.WriteFrame(nc2, nil, &wire.Frame{Kind: wire.KindFollow, Version: wire.Version, Epoch: 3})
+	if err != nil {
+		t.Fatalf("write follow 2: %v", err)
+	}
+	fr, _, err = wire.ReadFrame(nc2, buf)
+	if err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+	if fr.Kind != wire.KindFollowAck || fr.Epoch != 3 {
+		t.Fatalf("got %v epoch %d, want FollowAck epoch 3", fr.Kind, fr.Epoch)
+	}
+}
+
+// TestHandoff drives the graceful path at the repl layer: the primary
+// seals its WAL, hands off, and the follower acks only after it is
+// promoted and serving.
+func TestHandoff(t *testing.T) {
+	primaryDir := t.TempDir()
+	src := repl.NewSource(repl.SourceConfig{Epoch: 0, Logf: t.Logf})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer src.Close()
+
+	obs := src.Export("acme", primaryDir)
+	prim, _, err := realloc.OpenRecovered(primaryDir,
+		append(stackOptions(), realloc.WithWALObserver(obs))...)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          t.TempDir(),
+		NewScheduler: newFollowerSched,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+	waitUntil(t, "follower warm", func() bool { return fol.Stats().Warm == 1 })
+
+	for i := 0; i < 50; i++ {
+		if _, err := prim.Apply(jobs.InsertReq(fmt.Sprintf("j-%02d", i), jobs.Time(i*16), jobs.Time(i*16+8))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	want := prim.Snapshot()
+
+	// Seal the write path (flushes and closes the WAL: its final group
+	// commits ship through the observer before Close returns), then
+	// hand off.
+	prim.Close()
+	epoch, err := src.Handoff("planned maintenance")
+	if err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("handoff epoch = %d, want 1", epoch)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+
+	adopted := fol.Adopt("acme")
+	if adopted == nil {
+		t.Fatal("Adopt returned nil after handoff")
+	}
+	defer adopted.Close()
+	sameSnapshot(t, "handoff follower", want, adopted.Snapshot())
+	if got := fol.Epoch(); got != 1 {
+		t.Fatalf("follower epoch = %d, want 1", got)
+	}
+}

@@ -6,28 +6,32 @@
 package sched
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 )
 
+// The sentinels below are aliases into internal/fault, the repository's
+// unified error vocabulary: errors.Is against sched.ErrInfeasible,
+// fault.ErrInfeasible, and realloc.ErrInfeasible are all the same test.
+
 // ErrDuplicateJob is returned when inserting a job whose name is already
 // active.
-var ErrDuplicateJob = errors.New("sched: job already active")
+var ErrDuplicateJob = fault.ErrDuplicateJob
 
 // ErrUnknownJob is returned when deleting a job that is not active.
-var ErrUnknownJob = errors.New("sched: unknown job")
+var ErrUnknownJob = fault.ErrUnknownJob
 
 // ErrInfeasible is returned when the scheduler cannot place a job — for
 // the greedy schedulers this means the instance is not feasible (or, for
 // the reservation scheduler, not sufficiently underallocated).
-var ErrInfeasible = errors.New("sched: no feasible placement (instance not sufficiently underallocated)")
+var ErrInfeasible = fault.ErrInfeasible
 
 // ErrMisaligned is returned by aligned-only schedulers when a window is
 // not aligned.
-var ErrMisaligned = errors.New("sched: window is not aligned")
+var ErrMisaligned = fault.ErrMisaligned
 
 // InfeasibleError wraps ErrInfeasible with context about the request that
 // failed.
@@ -67,7 +71,7 @@ type Scheduler interface {
 
 // ErrNotElastic reports a resize against a scheduler (or wrapper chain)
 // that does not support changing its machine pool.
-var ErrNotElastic = errors.New("sched: scheduler does not support resizing")
+var ErrNotElastic = fault.ErrNotElastic
 
 // Poisoner is implemented by schedulers that can become permanently
 // unusable after a failed request (the reservation core: a mid-request

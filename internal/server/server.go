@@ -218,6 +218,28 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// A Promoter hands the primary role to a warm follower after the
+// local write path is sealed (internal/repl's Source implements it).
+// It reports the new fencing epoch the follower promoted to.
+type Promoter interface {
+	Handoff(reason string) (uint64, error)
+}
+
+// Handoff performs a graceful primary-to-follower transition: seal
+// first, promote second. Close drains every connection — each
+// in-flight request's WAL group commit ships to the followers before
+// its ack flushes, and the tenant teardown flushes and closes the WALs
+// — and only then is the follower told to promote. The ordering
+// enforces the fencing rule's third clause: this primary never
+// acknowledges a write after Promote is sent. Returns the follower's
+// new epoch.
+func (s *Server) Handoff(p Promoter, reason string) (uint64, error) {
+	if err := s.Close(); err != nil {
+		return 0, err
+	}
+	return p.Handoff(reason)
+}
+
 // tenant returns (creating lazily) the named tenant.
 func (s *Server) tenant(name string) (*tenant, error) {
 	s.mu.Lock()

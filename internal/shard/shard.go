@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hdr"
 	"repro/internal/ident"
 	"repro/internal/jobs"
@@ -50,15 +51,17 @@ import (
 	"repro/internal/wal"
 )
 
-// ErrClosed reports a request sent to a closed scheduler.
-var ErrClosed = errors.New("shard: scheduler is closed")
+// ErrClosed reports a request sent to a closed scheduler. It aliases
+// fault.ErrClosed, the repo-wide sentinel for the failure class.
+var ErrClosed = fault.ErrClosed
 
 // ErrDeadlineExceeded reports a request whose deadline passed before
 // its shard worker executed it — while parked on a full ring, or while
 // queued behind earlier work. Such a request never reaches the inner
 // scheduler, mutates nothing, and (under a WAL) is never logged, so a
-// deadline rejection needs no compensation on either side.
-var ErrDeadlineExceeded = errors.New("shard: request deadline exceeded")
+// deadline rejection needs no compensation on either side. It aliases
+// fault.ErrDeadlineExceeded.
+var ErrDeadlineExceeded = fault.ErrDeadlineExceeded
 
 // ErrNotElastic reports a resize against a shard whose inner scheduler
 // does not implement sched.Elastic (or whose wrapper chain bottoms out

@@ -3,7 +3,6 @@ package wal
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,10 +10,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/fault"
 )
 
-// ErrClosed reports an append against a closed log.
-var ErrClosed = errors.New("wal: log is closed")
+// ErrClosed reports an append against a closed log. It aliases
+// fault.ErrClosed, the repo-wide sentinel for the failure class.
+var ErrClosed = fault.ErrClosed
 
 // Segment header: magic + format version + segment number.
 const (
@@ -39,6 +41,20 @@ type Options struct {
 	// Buffer is the append queue capacity (default 1024). Appends past
 	// it block — backpressure, matching the shard workers.
 	Buffer int
+	// Observer, when set, receives every byte range the log writes to a
+	// segment file: p was written to segment seg starting at byte
+	// offset off. Segment creation is observed as the 16-byte header at
+	// offset 0; each group commit is observed as one contiguous span.
+	//
+	// The callback runs on the flusher goroutine after the write (and
+	// fsync, under Fsync) succeeds and BEFORE the group's
+	// acknowledgement callbacks — this is the replication shipping
+	// point: an acknowledged record has always been observed first, so
+	// a shipper that forwards synchronously can guarantee acked ⇒
+	// shipped. The callback must not retain p (the buffer is reused)
+	// and must not call back into the Log. Checkpoint files are NOT
+	// observed; replication transfers them at follower connect instead.
+	Observer func(seg uint64, off int64, p []byte)
 }
 
 func (o *Options) fill() {
@@ -107,6 +123,7 @@ type Log struct {
 	// touches it after Open returns).
 	f    *os.File
 	seg  uint64
+	off  int64 // current write offset within seg (for Observer)
 	buf  []byte
 	werr error // sticky write failure: every later append fails fast
 }
@@ -114,6 +131,34 @@ type Log struct {
 // segPath returns the path of segment n.
 func segPath(dir string, n uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%08d%s", n, segSuffix))
+}
+
+// SegmentHeaderLen is the size of the fixed header opening every
+// segment file; record frames start at this offset.
+const SegmentHeaderLen = segHeaderLen
+
+// SegmentPath returns the path of segment n in dir — the same naming
+// Open uses, exported so replication can mirror segment files byte for
+// byte.
+func SegmentPath(dir string, n uint64) string { return segPath(dir, n) }
+
+// CheckpointPath returns the path of dir's checkpoint file.
+func CheckpointPath(dir string) string { return filepath.Join(dir, checkpointName) }
+
+// ListSegments returns the segment numbers present in dir, ascending.
+func ListSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if n, ok := segNumber(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i] < segs[k] })
+	return segs, nil
 }
 
 // segNumber parses a segment filename, reporting whether it is one.
@@ -287,6 +332,8 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 			return nil, nil, err
 		}
 		l.f = f
+		l.off = segHeaderLen
+		l.observe(l.seg, 0, segmentHeader(l.seg))
 	case st.lastValid < segHeaderLen:
 		// The final segment's header itself is torn: rewrite the file
 		// from scratch under its own number.
@@ -296,6 +343,8 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 			return nil, nil, err
 		}
 		l.f = f
+		l.off = segHeaderLen
+		l.observe(l.seg, 0, segmentHeader(l.seg))
 	default:
 		l.seg = st.lastSeg
 		path := segPath(dir, l.seg)
@@ -309,9 +358,17 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
 		l.f = f
+		l.off = st.lastValid
 	}
 	go l.run()
 	return l, &st.Recovered, nil
+}
+
+// observe forwards a written span to the Observer, if any.
+func (l *Log) observe(seg uint64, off int64, p []byte) {
+	if l.opts.Observer != nil {
+		l.opts.Observer(seg, off, p)
+	}
 }
 
 // createSegment creates (truncating if present) segment n with its
@@ -543,6 +600,12 @@ func (l *Log) flush(batch []pend) {
 				l.werr = fmt.Errorf("wal: fsync: %w", err)
 			}
 		}
+		if l.werr == nil {
+			// Ship before acknowledging: the Observer (replication) sees
+			// every group before any of its done callbacks can run.
+			l.observe(l.seg, l.off, l.buf)
+			l.off += int64(len(l.buf))
+		}
 	}
 	for i, p := range batch {
 		if p.done == nil {
@@ -577,6 +640,8 @@ func (l *Log) doRotate(reply chan rotateReply) {
 	}
 	l.f = f
 	l.seg = next
+	l.off = segHeaderLen
+	l.observe(next, 0, segmentHeader(next))
 	reply <- rotateReply{seg: next}
 }
 

@@ -38,11 +38,11 @@ package wire
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 
+	"repro/internal/fault"
 	"repro/internal/jobs"
 	"repro/internal/wal"
 )
@@ -51,10 +51,11 @@ import (
 // mismatch with a fatal Err frame.
 const Version = 1
 
-// ErrOverload is the client-side sentinel for CodeOverload: the
-// tenant's inflight budget is exhausted and the request was rejected —
-// not queued — so the caller should back off and retry.
-var ErrOverload = errors.New("wire: overloaded: tenant inflight budget exhausted")
+// ErrOverload is the sentinel for CodeOverload: the tenant's inflight
+// budget is exhausted and the request was rejected — not queued — so
+// the caller should back off and retry. It aliases fault.ErrOverload,
+// the repo-wide sentinel for the failure class.
+var ErrOverload = fault.ErrOverload
 
 // Kind identifies a frame's payload type.
 type Kind uint8
@@ -86,6 +87,65 @@ const (
 	KindSnapshot Kind = 12
 )
 
+// Replication frames (kinds 13..20), spoken between a primary's
+// internal/repl Source and a warm follower.
+//
+// # The fencing-epoch rule
+//
+// Every primary serves under a fencing epoch, a monotonically
+// increasing uint64 persisted beside its WAL. The rule, in full:
+//
+//  1. A follower opens with Follow carrying the highest epoch it has
+//     ever observed. A primary whose own epoch is LOWER has been
+//     deposed (some follower was promoted past it): it must answer
+//     with a fatal Err frame carrying CodeFenced and stop accepting
+//     writes. Otherwise it answers FollowAck with its epoch, which
+//     the follower adopts.
+//  2. Promotion — graceful (Promote frame from the old primary) or
+//     unilateral (the follower timing out on a dead primary) — moves
+//     the follower to epoch+1. The follower must persist the new
+//     epoch BEFORE accepting its first client write.
+//  3. A primary must never acknowledge a client write after sending
+//     Promote; the internal/server Handoff seals (drains and closes)
+//     the serving stack first, which is what makes the epoch a fence
+//     and not a suggestion.
+//
+// After FollowAck the primary streams, per tenant: one
+// CheckpointInstall (the tenant's checkpoint image, empty if none),
+// SegmentChunk frames covering the WAL segments from the checkpoint's
+// StartSeg, then Installed — after which only live Tail frames follow.
+// SegmentChunk and Tail carry identical (seg, off, data) payloads; the
+// two kinds are kept distinct so a follower can tell snapshot transfer
+// from live shipping, and because the streams may interleave with
+// overlapping offsets (overlap is deduplicated by offset, never
+// conflicting: both sides are verbatim WAL bytes).
+const (
+	// KindFollow opens a replication connection: version, epoch.
+	KindFollow Kind = 13
+	// KindFollowAck accepts a Follow: the primary's epoch.
+	KindFollowAck Kind = 14
+	// KindCheckpointInstall begins a tenant's snapshot: tenant, data
+	// (the checkpoint file image; empty means no checkpoint exists).
+	// It resets any prior replica state the follower holds for the
+	// tenant.
+	KindCheckpointInstall Kind = 15
+	// KindSegmentChunk is one span of a WAL segment file during
+	// snapshot transfer: tenant, seg, off, data.
+	KindSegmentChunk Kind = 16
+	// KindTail is one live group commit (or segment header), shipped
+	// as it is written: tenant, seg, off, data.
+	KindTail Kind = 17
+	// KindInstalled marks the end of a tenant's snapshot transfer:
+	// tenant. The follower's replica of the tenant is warm from here.
+	KindInstalled Kind = 18
+	// KindPromote hands the primary role to the follower: epoch (the
+	// new fencing epoch), detail (human-readable reason).
+	KindPromote Kind = 19
+	// KindPromoteAck confirms a Promote after the follower is serving:
+	// epoch.
+	KindPromoteAck Kind = 20
+)
+
 func (k Kind) String() string {
 	switch k {
 	case KindHello:
@@ -112,6 +172,22 @@ func (k Kind) String() string {
 		return "snapshotreq"
 	case KindSnapshot:
 		return "snapshot"
+	case KindFollow:
+		return "follow"
+	case KindFollowAck:
+		return "followack"
+	case KindCheckpointInstall:
+		return "checkpointinstall"
+	case KindSegmentChunk:
+		return "segmentchunk"
+	case KindTail:
+		return "tail"
+	case KindInstalled:
+		return "installed"
+	case KindPromote:
+		return "promote"
+	case KindPromoteAck:
+		return "promoteack"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -140,7 +216,13 @@ const (
 	CodeBadRequest Code = 7
 	// CodeInternal: any other server-side failure; see Detail.
 	CodeInternal Code = 8
+	// CodeFenced: the receiver refuses because a newer fencing epoch
+	// exists (see the fencing-epoch rule above the replication kinds).
+	CodeFenced Code = 9
 )
+
+// maxCode is the highest defined Code; decode rejects anything past it.
+const maxCode = CodeFenced
 
 func (c Code) String() string {
 	switch c {
@@ -162,6 +244,8 @@ func (c Code) String() string {
 		return "bad-request"
 	case CodeInternal:
 		return "internal"
+	case CodeFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("Code(%d)", uint8(c))
 	}
@@ -207,6 +291,21 @@ type Frame struct {
 
 	// Jobs: Snapshot.
 	Jobs []PlacedJob
+
+	// Epoch: Follow, FollowAck, Promote, PromoteAck — the fencing
+	// epoch (see the rule above the replication kinds).
+	Epoch uint64
+
+	// Seg, Off: SegmentChunk and Tail — the WAL segment number Data
+	// belongs to and the byte offset within it where Data starts.
+	Seg uint64
+	Off int64
+
+	// Data: CheckpointInstall (checkpoint image, empty = none),
+	// SegmentChunk, Tail (verbatim segment-file bytes). Decode copies
+	// it out of the read buffer, so it stays valid across ReadFrame
+	// calls.
+	Data []byte
 }
 
 // Frame and field limits. A reader rejects any frame past them.
@@ -216,6 +315,9 @@ const (
 	MaxBatch       = 1 << 14 // requests per Batch frame
 	MaxTenantLen   = 256
 	MaxDetailLen   = 1 << 12
+	// MaxChunk caps Data in replication frames. Shippers must split
+	// larger spans across frames.
+	MaxChunk = 1 << 22 // 4 MiB
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -278,6 +380,35 @@ func appendPayload(b []byte, f *Frame) ([]byte, error) {
 	case KindResize:
 		b = binary.AppendUvarint(b, f.ID)
 		b = binary.AppendUvarint(b, uint64(f.Machines))
+	case KindFollow:
+		b = binary.AppendUvarint(b, uint64(f.Version))
+		b = binary.AppendUvarint(b, f.Epoch)
+	case KindFollowAck, KindPromoteAck:
+		b = binary.AppendUvarint(b, f.Epoch)
+	case KindPromote:
+		b = binary.AppendUvarint(b, f.Epoch)
+		b = appendString(b, clip(f.Detail, MaxDetailLen))
+	case KindCheckpointInstall:
+		if err := checkRepl(f, false); err != nil {
+			return b, err
+		}
+		b = appendString(b, f.Tenant)
+		b = binary.AppendUvarint(b, uint64(len(f.Data)))
+		b = append(b, f.Data...)
+	case KindSegmentChunk, KindTail:
+		if err := checkRepl(f, true); err != nil {
+			return b, err
+		}
+		b = appendString(b, f.Tenant)
+		b = binary.AppendUvarint(b, f.Seg)
+		b = binary.AppendUvarint(b, uint64(f.Off))
+		b = binary.AppendUvarint(b, uint64(len(f.Data)))
+		b = append(b, f.Data...)
+	case KindInstalled:
+		if err := checkRepl(f, false); err != nil {
+			return b, err
+		}
+		b = appendString(b, f.Tenant)
 	case KindSnapshot:
 		b = binary.AppendUvarint(b, f.ID)
 		b = binary.AppendUvarint(b, uint64(f.Machines))
@@ -293,6 +424,21 @@ func appendPayload(b []byte, f *Frame) ([]byte, error) {
 		return b, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}
 	return b, nil
+}
+
+// checkRepl validates the shared fields of tenant-scoped replication
+// frames before encoding.
+func checkRepl(f *Frame, positioned bool) error {
+	if len(f.Tenant) == 0 || len(f.Tenant) > MaxTenantLen {
+		return fmt.Errorf("wire: tenant name length %d (want 1..%d) in %s frame", len(f.Tenant), MaxTenantLen, f.Kind)
+	}
+	if len(f.Data) > MaxChunk {
+		return fmt.Errorf("wire: %d data bytes exceeds the %d chunk cap in %s frame", len(f.Data), MaxChunk, f.Kind)
+	}
+	if positioned && f.Off < 0 {
+		return fmt.Errorf("wire: negative offset %d in %s frame", f.Off, f.Kind)
+	}
+	return nil
 }
 
 func clip(s string, max int) string {
@@ -342,10 +488,32 @@ func DecodePayload(p []byte) (Frame, error) {
 		}
 		c := Code(body[off])
 		off++
-		if c > CodeInternal {
+		if c > maxCode {
 			return 0, fmt.Errorf("wire: unknown code %d in %s frame", c, f.Kind)
 		}
 		return c, nil
+	}
+	tstr := func() (string, error) {
+		s, serr := str(MaxTenantLen)
+		if serr != nil {
+			return "", serr
+		}
+		if s == "" {
+			return "", fmt.Errorf("wire: empty tenant in %s frame", f.Kind)
+		}
+		return s, nil
+	}
+	data := func() ([]byte, error) {
+		n, nerr := uvar()
+		if nerr != nil {
+			return nil, nerr
+		}
+		if n > MaxChunk || uint64(len(body)-off) < n {
+			return nil, fmt.Errorf("wire: bad data length %d in %s frame", n, f.Kind)
+		}
+		d := append([]byte(nil), body[off:off+int(n)]...)
+		off += int(n)
+		return d, nil
 	}
 
 	var err error
@@ -449,6 +617,55 @@ func DecodePayload(p []byte) (Frame, error) {
 		}
 	case KindDrain, KindSnapshotReq:
 		if f.ID, err = uvar(); err != nil {
+			return fail(err)
+		}
+	case KindFollow:
+		var v uint64
+		if v, err = uvar(); err != nil {
+			return fail(err)
+		}
+		f.Version = int(v)
+		if f.Epoch, err = uvar(); err != nil {
+			return fail(err)
+		}
+	case KindFollowAck, KindPromoteAck:
+		if f.Epoch, err = uvar(); err != nil {
+			return fail(err)
+		}
+	case KindPromote:
+		if f.Epoch, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if f.Detail, err = str(MaxDetailLen); err != nil {
+			return fail(err)
+		}
+	case KindCheckpointInstall:
+		if f.Tenant, err = tstr(); err != nil {
+			return fail(err)
+		}
+		if f.Data, err = data(); err != nil {
+			return fail(err)
+		}
+	case KindSegmentChunk, KindTail:
+		if f.Tenant, err = tstr(); err != nil {
+			return fail(err)
+		}
+		if f.Seg, err = uvar(); err != nil {
+			return fail(err)
+		}
+		var o uint64
+		if o, err = uvar(); err != nil {
+			return fail(err)
+		}
+		if o > 1<<62 {
+			return fail(fmt.Errorf("wire: implausible segment offset %d", o))
+		}
+		f.Off = int64(o)
+		if f.Data, err = data(); err != nil {
+			return fail(err)
+		}
+	case KindInstalled:
+		if f.Tenant, err = tstr(); err != nil {
 			return fail(err)
 		}
 	case KindResize:

@@ -36,6 +36,15 @@ func sampleFrames() []Frame {
 			{Job: jobs.Job{Name: "b1", Window: jobs.Window{Start: 0, End: 128}},
 				Placement: jobs.Placement{Machine: 0, Slot: 17}},
 		}},
+		{Kind: KindFollow, Version: Version, Epoch: 4},
+		{Kind: KindFollowAck, Epoch: 4},
+		{Kind: KindCheckpointInstall, Tenant: "acme", Data: []byte("RCKP-image-bytes")},
+		{Kind: KindCheckpointInstall, Tenant: "fresh"}, // empty Data = no checkpoint yet
+		{Kind: KindSegmentChunk, Tenant: "acme", Seg: 9, Off: 1 << 20, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Kind: KindTail, Tenant: "acme", Seg: 9, Off: 16, Data: []byte("one-group-commit")},
+		{Kind: KindInstalled, Tenant: "acme"},
+		{Kind: KindPromote, Epoch: 5, Detail: "primary unreachable for 2s"},
+		{Kind: KindPromoteAck, Epoch: 5},
 	}
 }
 
@@ -114,6 +123,11 @@ func TestDecodeRejects(t *testing.T) {
 		{"oversized tenant", Frame{Kind: KindHello, Version: Version, Tenant: strings.Repeat("x", MaxTenantLen+1)}},
 		{"empty batch", Frame{Kind: KindBatch, ID: 1}},
 		{"unknown kind", Frame{Kind: Kind(200)}},
+		{"tail without tenant", Frame{Kind: KindTail, Seg: 1, Data: []byte("x")}},
+		{"chunk without tenant", Frame{Kind: KindSegmentChunk, Seg: 1, Data: []byte("x")}},
+		{"install without tenant", Frame{Kind: KindCheckpointInstall}},
+		{"negative offset", Frame{Kind: KindTail, Tenant: "t", Seg: 1, Off: -1, Data: []byte("x")}},
+		{"oversized chunk", Frame{Kind: KindSegmentChunk, Tenant: "t", Seg: 1, Data: make([]byte, MaxChunk+1)}},
 	}
 	for _, tc := range cases {
 		if _, err := AppendFrame(nil, &tc.f); err == nil {

@@ -53,6 +53,7 @@ import (
 	"repro/internal/alignsched"
 	"repro/internal/core"
 	"repro/internal/edf"
+	"repro/internal/fault"
 	"repro/internal/feasible"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
@@ -100,18 +101,44 @@ type (
 	Snapshot = shard.Snapshot
 )
 
-// Re-exported sentinel errors.
+// Re-exported sentinel errors: the module's unified error vocabulary
+// (internal/fault). Every layer that can raise one of these failure
+// classes — the embedded schedulers, the WAL, the wire codec, the
+// network client — aliases the same sentinel, so errors.Is against
+// the realloc names works identically for embedded and remote callers:
+// a CodeOverload ack decoded by repro/client and an admission rejection
+// from Sharded.Submit both satisfy errors.Is(err, realloc.ErrOverload).
 var (
 	// ErrDuplicateJob reports an insert whose name is already active.
-	ErrDuplicateJob = sched.ErrDuplicateJob
+	ErrDuplicateJob = fault.ErrDuplicateJob
 	// ErrUnknownJob reports a delete of an inactive name.
-	ErrUnknownJob = sched.ErrUnknownJob
+	ErrUnknownJob = fault.ErrUnknownJob
 	// ErrInfeasible reports that no feasible placement exists — the
 	// instance is not sufficiently underallocated.
-	ErrInfeasible = sched.ErrInfeasible
+	ErrInfeasible = fault.ErrInfeasible
 	// ErrMisaligned reports an unaligned window given to an aligned-only
 	// scheduler (disable alignment wrapping to see it).
-	ErrMisaligned = sched.ErrMisaligned
+	ErrMisaligned = fault.ErrMisaligned
+	// ErrClosed reports an operation against a closed scheduler, WAL,
+	// server, or client connection.
+	ErrClosed = fault.ErrClosed
+	// ErrOverload reports admission-control rejection: the bounded
+	// inflight budget was exhausted and the request was refused without
+	// executing. Back off and retry.
+	ErrOverload = fault.ErrOverload
+	// ErrDeadlineExceeded reports a request whose deadline passed before
+	// execution; it mutated nothing and was never logged.
+	ErrDeadlineExceeded = fault.ErrDeadlineExceeded
+	// ErrNotElastic reports a resize against a non-elastic scheduler
+	// stack.
+	ErrNotElastic = fault.ErrNotElastic
+	// ErrBadRequest reports a request the server could not parse or
+	// validate.
+	ErrBadRequest = fault.ErrBadRequest
+	// ErrFenced reports an operation refused because a newer primary
+	// fencing epoch exists (see internal/wire's epoch rule); clients
+	// should redial the promoted follower.
+	ErrFenced = fault.ErrFenced
 )
 
 // Win builds the window [start, end).
@@ -136,6 +163,7 @@ type Options struct {
 	batchSize  int
 	walDir     string
 	walFsync   bool
+	walObserve func(seg uint64, off int64, group []byte)
 }
 
 // Option customizes the scheduler stack built by New.
@@ -202,6 +230,17 @@ func WithWAL(dir string) Option { return func(o *Options) { o.walDir = dir } }
 // WithWALFsync upgrades WithWAL's durability to fsync-per-group-commit
 // (power-loss durable). It has no effect without WithWAL.
 func WithWALFsync() Option { return func(o *Options) { o.walFsync = true } }
+
+// WithWALObserver registers fn to receive every byte span the WAL
+// writes (seg, off, group), after the write succeeds and before the
+// group's acknowledgements run. This is the replication shipping hook:
+// internal/repl's Source.Export returns exactly such a function, and
+// wiring it here is what makes "acked ⇒ shipped to the follower" hold.
+// fn runs on the WAL flusher goroutine and must not retain group. It
+// has no effect without WithWAL (or outside OpenRecovered).
+func WithWALObserver(fn func(seg uint64, off int64, group []byte)) Option {
+	return func(o *Options) { o.walObserve = fn }
+}
 
 // WithDeamortization replaces the amortized n*-rebuild with the paper's
 // even/odd-slot incremental rebuild: worst-case O(1) inner operations
@@ -272,7 +311,7 @@ func NewSharded(opts ...Option) *Sharded {
 	o.shardedDefaults()
 	var log *wal.Log
 	if o.walDir != "" {
-		l, recovered, err := wal.Open(o.walDir, wal.Options{Fsync: o.walFsync})
+		l, recovered, err := wal.Open(o.walDir, wal.Options{Fsync: o.walFsync, Observer: o.walObserve})
 		if err != nil {
 			panic(fmt.Sprintf("realloc: WithWAL(%q): %v", o.walDir, err))
 		}
@@ -293,6 +332,49 @@ func NewSharded(opts ...Option) *Sharded {
 		// so every shard implements sched.Elastic and can be resized.
 		Factory: func(machines int) sched.Scheduler { return buildElasticStack(o, machines) },
 	})
+}
+
+// Checkpoint is a point-in-time scheduler image: the WAL segment
+// replay resumes from, the machine partition, and every active job
+// with its placement. Sharded.Checkpoint writes one; OpenRecovered and
+// NewShardedFromCheckpoint restore from one.
+type Checkpoint = wal.Checkpoint
+
+// NewShardedFromCheckpoint builds a sharded scheduler warm from a
+// checkpoint image without opening a WAL: the image's machine
+// partition and job placements are restored through the same O(jobs)
+// path OpenRecovered uses, and logging stays off. A nil checkpoint
+// builds a fresh scheduler from the options alone (NewSharded's
+// topology, without the WAL).
+//
+// This is replication plumbing: a warm follower (internal/repl)
+// constructs its per-tenant schedulers with it, tail-replays shipped
+// records into them with logging off, and attaches a WAL only at
+// promotion. Unlike NewSharded it returns errors instead of panicking,
+// because a follower installs checkpoints it did not produce.
+func NewShardedFromCheckpoint(ck *Checkpoint, opts ...Option) (*Sharded, error) {
+	o := defaultOptions(opts)
+	if o.shards < 0 {
+		return nil, fmt.Errorf("realloc: WithShards(%d)", o.shards)
+	}
+	factory := func(machines int) sched.Scheduler { return buildElasticStack(o, machines) }
+	if ck == nil {
+		o.shardedDefaults()
+		return shard.New(shard.Config{
+			Shards:    o.shards,
+			Machines:  o.machines,
+			Policy:    o.policy,
+			Buffer:    o.buffer,
+			BatchSize: o.batchSize,
+			Factory:   factory,
+		}), nil
+	}
+	return shard.Restore(shard.Config{
+		Policy:    o.policy,
+		Buffer:    o.buffer,
+		BatchSize: o.batchSize,
+		Factory:   factory,
+	}, ck)
 }
 
 // Recovery reports what OpenRecovered found and replayed.
@@ -338,7 +420,7 @@ func OpenRecovered(dir string, opts ...Option) (*Sharded, *Recovery, error) {
 	if o.shards < 0 {
 		panic(fmt.Sprintf("realloc: WithShards(%d)", o.shards))
 	}
-	log, recovered, err := wal.Open(dir, wal.Options{Fsync: o.walFsync})
+	log, recovered, err := wal.Open(dir, wal.Options{Fsync: o.walFsync, Observer: o.walObserve})
 	if err != nil {
 		return nil, nil, err
 	}
