@@ -96,12 +96,17 @@ func main() {
 	// exported to the replication source BEFORE it is opened, so the
 	// very first observed byte (the segment header) ships too.
 	var src *repl.Source
+	fenced := make(chan struct{})
 	if *replAddr != "" {
 		epoch, err := repl.ReadEpoch(*walRoot)
 		if err != nil {
 			logger.Fatalf("reading fencing epoch: %v", err)
 		}
-		src = repl.NewSource(repl.SourceConfig{Epoch: epoch, Logf: logger.Printf})
+		src = repl.NewSource(repl.SourceConfig{
+			Epoch:    epoch,
+			Logf:     logger.Printf,
+			OnFenced: func() { close(fenced) },
+		})
 		raddr, err := src.Listen(*replAddr)
 		if err != nil {
 			logger.Fatalf("replication listen %s: %v", *replAddr, err)
@@ -117,6 +122,9 @@ func main() {
 				return realloc.NewSharded(opts...), nil
 			}
 			dir := filepath.Join(*walRoot, repl.TenantDir(tenant))
+			if reason, ok := repl.Discarded(dir); ok {
+				return nil, fmt.Errorf("tenant %q: mirror at %s was discarded at promotion (%s); refusing to recover an incomplete WAL — restore it from a live replica or remove the directory to start empty", tenant, dir, reason)
+			}
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return nil, err
 			}
@@ -150,7 +158,22 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	got := <-sig
+	var got os.Signal
+	select {
+	case got = <-sig:
+	case <-fenced:
+		// A follower promoted past this primary (it was presumed dead
+		// behind a partition and a replacement is serving). Seal the
+		// write path immediately: any write acked from here on would
+		// diverge from the new epoch and be lost.
+		logger.Printf("FENCED: a follower promoted past this primary; sealing the write path")
+		if err := s.Close(); err != nil {
+			logger.Fatalf("close after fence: %v", err)
+		}
+		src.Close()
+		logger.Printf("deposed; bye")
+		return
+	}
 
 	if src != nil {
 		if total, warm := src.Followers(); total > 0 {
@@ -246,7 +269,13 @@ func runFollower(logger *log.Logger, primary, addr, walRoot string, promoteAfter
 			}
 			// Not replicated (or created after promotion): recover
 			// from (or create under) the mirror root like a primary.
+			// A promotion tombstone means the mirror is an incomplete
+			// prefix of the old primary's WAL: recovering it would
+			// silently serve stale state, so refuse loudly instead.
 			dir := filepath.Join(walRoot, repl.TenantDir(tenant))
+			if reason, ok := repl.Discarded(dir); ok {
+				return nil, fmt.Errorf("tenant %q: mirror at %s was discarded at promotion (%s); refusing to recover an incomplete WAL — restore it from a live replica or remove the directory to start empty", tenant, dir, reason)
+			}
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				return nil, err
 			}

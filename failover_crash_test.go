@@ -172,6 +172,7 @@ func TestFailoverCrashPromote(t *testing.T) {
 	if err != nil {
 		t.Fatalf("follower: %v", err)
 	}
+	defer fol.Close() // stops the post-promotion fencing dialer
 	runErr := make(chan error, 1)
 	go func() { runErr <- fol.Run() }()
 

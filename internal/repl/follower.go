@@ -33,9 +33,20 @@ type FollowerConfig struct {
 	// Fsync is passed to the WALs opened at promotion.
 	Fsync bool
 	// PromoteAfter, when positive, self-promotes after the primary has
-	// been unreachable this long. Zero means only an explicit Promote
-	// frame or PromoteNow promotes.
+	// been silent this long: no frame received (the primary heartbeats
+	// every SourceConfig.HeartbeatEvery, so a healthy idle primary is
+	// never silent) and no successful handshake. It fires even while
+	// the TCP connection stays established — a wedged primary or a
+	// data-blackholing partition looks exactly like a dead one. Must
+	// be several multiples of the primary's heartbeat interval. Zero
+	// means only an explicit Promote frame or PromoteNow promotes.
 	PromoteAfter time.Duration
+	// IdleTimeout bounds inter-byte silence on a session when
+	// PromoteAfter is zero (default 15s): a session that silent is
+	// torn down and redialed rather than blocking in a read forever.
+	// When PromoteAfter is positive it takes precedence and silence
+	// promotes instead.
+	IdleTimeout time.Duration
 	// RedialEvery is the pause between dial attempts (default 250ms).
 	RedialEvery time.Duration
 	// DialTimeout bounds each dial and the handshake read (default 5s).
@@ -56,6 +67,9 @@ func (c *FollowerConfig) fill() error {
 	}
 	if c.RedialEvery <= 0 {
 		c.RedialEvery = 250 * time.Millisecond
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 15 * time.Second
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -229,9 +243,13 @@ func (f *Follower) Tenants() []string {
 
 // Run follows the primary until promotion or Close: dial, handshake,
 // ingest frames; on connection loss redial, and if the primary stays
-// unreachable past PromoteAfter (when set), self-promote. Returns nil
-// after a successful promotion or Close, an error only for fatal
-// local failures (a corrupt mirror, a failed promotion).
+// silent past PromoteAfter (when set), self-promote. Silence is
+// measured from the last frame received — NOT from connection state
+// or session boundaries — so a primary that wedges while the kernel
+// keeps answering keepalives, or accepts dials but never completes a
+// handshake, still trips the timeout. Returns nil after a successful
+// promotion or Close, an error only for fatal local failures (a
+// corrupt mirror, a failed promotion).
 func (f *Follower) Run() error {
 	lastContact := time.Now()
 	for {
@@ -252,7 +270,7 @@ func (f *Follower) Run() error {
 			f.sleep()
 			continue
 		}
-		promoted, serr := f.session(nc)
+		promoted, serr := f.session(nc, &lastContact)
 		nc.Close()
 		f.setConn(nil)
 		if promoted {
@@ -266,7 +284,6 @@ func (f *Follower) Run() error {
 			}
 			f.cfg.Logf("repl: session ended: %v", serr)
 		}
-		lastContact = time.Now()
 		f.sleep()
 	}
 }
@@ -284,9 +301,26 @@ type fatalError struct{ err error }
 func (e *fatalError) Error() string { return e.err.Error() }
 func (e *fatalError) Unwrap() error { return e.err }
 
+// idleReader sets a fresh read deadline before every Read, so the
+// wrapped connection's timeout measures inter-byte silence rather than
+// total frame transfer time: a slow-but-flowing snapshot chunk keeps
+// extending the deadline, a wedged primary does not.
+type idleReader struct {
+	nc     net.Conn
+	window time.Duration
+}
+
+func (ir idleReader) Read(p []byte) (int, error) {
+	ir.nc.SetReadDeadline(time.Now().Add(ir.window))
+	return ir.nc.Read(p)
+}
+
 // session runs one primary connection: handshake, then the frame loop.
-// It returns (true, err) when the session ended in a promotion.
-func (f *Follower) session(nc net.Conn) (bool, error) {
+// It returns (true, err) when the session ended in a promotion, and
+// stamps *lastContact with every frame received so the caller's
+// primary-loss accounting is keyed to proof of life, not to session
+// boundaries.
+func (f *Follower) session(nc net.Conn, lastContact *time.Time) (bool, error) {
 	f.setConn(nc)
 	f.mu.Lock()
 	epoch := f.epoch
@@ -312,19 +346,39 @@ func (f *Follower) session(nc net.Conn) (bool, error) {
 		f.epoch = fr.Epoch
 	}
 	f.mu.Unlock()
-	nc.SetReadDeadline(time.Time{})
+	*lastContact = time.Now()
 	f.cfg.Logf("repl: following %s at epoch %d", f.cfg.Primary, fr.Epoch)
 
+	// The frame loop reads through an idle deadline: PromoteAfter when
+	// set (silence promotes), IdleTimeout otherwise (silence redials).
+	// The primary heartbeats between data frames, so only a wedged or
+	// partitioned primary ever goes silent that long.
+	window := f.cfg.IdleTimeout
+	if f.cfg.PromoteAfter > 0 && f.cfg.PromoteAfter < window {
+		window = f.cfg.PromoteAfter
+	}
+	r := idleReader{nc: nc, window: window}
 	for {
-		fr, buf, err = wire.ReadFrame(nc, buf)
+		fr, buf, err = wire.ReadFrame(r, buf)
 		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if f.cfg.PromoteAfter > 0 && time.Since(*lastContact) >= f.cfg.PromoteAfter {
+					f.cfg.Logf("repl: primary silent for %v with the connection still up; treating it as lost", time.Since(*lastContact))
+					return true, f.promote(0, fmt.Sprintf("primary silent for %v", f.cfg.PromoteAfter))
+				}
+				return false, fmt.Errorf("repl: no frame from primary in %v; dropping the session", window)
+			}
 			// Connection loss, Close, or a PromoteNow kick. The read
 			// loop has already ingested everything the primary managed
 			// to send before dying — the kernel delivers buffered bytes
 			// even after a SIGKILL.
 			return false, err
 		}
+		*lastContact = time.Now()
 		switch fr.Kind {
+		case wire.KindPing:
+			// Heartbeat: its arrival already refreshed lastContact.
 		case wire.KindCheckpointInstall:
 			err = f.install(fr.Tenant, fr.Data)
 		case wire.KindSegmentChunk, wire.KindTail:
@@ -548,8 +602,12 @@ func (f *Follower) discard() {
 // explicit handoff), then for every installed tenant sync the mirror,
 // open its WAL, and attach it to the warm scheduler. After promote the
 // schedulers append to their own logs and Adopt hands them out.
-// Partially installed tenants are discarded loudly: their mirrors are
-// incomplete and must not serve.
+// Partially installed tenants are discarded loudly AND durably: their
+// mirrors are an incomplete prefix of the primary's WAL, so a
+// tombstone (MarkDiscarded) blocks any later recovery path from
+// silently serving that stale state. After a self-promotion (no
+// Promote frame sealed the old primary) a background loop dials the
+// old primary with the new epoch until it is fenced.
 func (f *Follower) promote(wireEpoch uint64, reason string) error {
 	start := time.Now()
 	f.mu.Lock()
@@ -572,6 +630,9 @@ func (f *Follower) promote(wireEpoch uint64, reason string) error {
 			f.cfg.Logf("repl: DISCARDING partially installed tenant %q at promotion: its mirror is incomplete", t)
 			r.close()
 			delete(f.tenants, t)
+			if err := MarkDiscarded(r.dir, fmt.Sprintf("install incomplete at promotion (%s)", reason)); err != nil {
+				return &fatalError{fmt.Errorf("repl: tombstone discarded tenant %q: %w", t, err)}
+			}
 			continue
 		}
 		if r.file != nil {
@@ -596,7 +657,54 @@ func (f *Follower) promote(wireEpoch uint64, reason string) error {
 	f.stats.Reason = reason
 	close(f.promotedCh)
 	f.cfg.Logf("repl: PROMOTED at epoch %d in %.1fms (%s)", newEpoch, f.stats.PromoteMS, reason)
+	if wireEpoch == 0 {
+		// Self-promotion: the old primary never sealed itself and may
+		// still be alive behind an asymmetric partition, acking writes
+		// the new epoch will never have. Nothing in the topology would
+		// ever carry the new epoch to it (a promoted follower serves,
+		// it does not dial), so carry it there explicitly.
+		go f.fenceOldPrimary(newEpoch)
+	}
 	return nil
+}
+
+// fenceRetryEvery paces fenceOldPrimary's dial attempts.
+const fenceRetryEvery = time.Second
+
+// fenceOldPrimary dials the deposed primary's replication address with
+// the new epoch until the handshake is refused with CodeFenced (the
+// old primary has recorded its deposition and sealed) or the follower
+// is closed. This actively closes the split-brain window a unilateral
+// promotion opens; the window itself is documented in the README.
+func (f *Follower) fenceOldPrimary(epoch uint64) {
+	var buf []byte
+	for {
+		select {
+		case <-f.closedCh:
+			return
+		default:
+		}
+		nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+		if err == nil {
+			nc.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+			buf, err = wire.WriteFrame(nc, buf, &wire.Frame{Kind: wire.KindFollow, Version: wire.Version, Epoch: epoch})
+			if err == nil {
+				fr, rbuf, rerr := wire.ReadFrame(nc, buf)
+				buf = rbuf
+				if rerr == nil && fr.Kind == wire.KindErr && fr.Code == wire.CodeFenced {
+					nc.Close()
+					f.cfg.Logf("repl: old primary at %s acknowledged the fence at epoch %d", f.cfg.Primary, epoch)
+					return
+				}
+			}
+			nc.Close()
+		}
+		select {
+		case <-f.closedCh:
+			return
+		case <-time.After(fenceRetryEvery):
+		}
+	}
 }
 
 // writeFileSync writes data durably: temp file, fsync, rename, dir sync.

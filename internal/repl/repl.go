@@ -7,10 +7,11 @@
 // (KindCheckpointInstall), the retained segment files
 // (KindSegmentChunk), an end-of-snapshot marker (KindInstalled), and
 // from then on every group commit the moment it is durable
-// (KindTail). Because the WAL observer runs after the write and
-// before the acknowledgement callbacks, a write acked to a client has
-// always been handed to the shipper first: for a follower that has
-// finished installing, acked ⇒ shipped.
+// (KindTail), interleaved with KindPing heartbeats so an idle primary
+// is distinguishable from a wedged one. Because the WAL observer runs
+// after the write and before the acknowledgement callbacks, a write
+// acked to a client has always been handed to the shipper first: for a
+// follower that has finished installing, acked ⇒ shipped.
 //
 // The follower side is a Follower: it dials the primary, installs each
 // tenant's checkpoint into a warm shard.Scheduler (built by the
@@ -19,14 +20,21 @@
 // complete record through the normal admission paths with logging off
 // — the same replay discipline as realloc.OpenRecovered. Promotion
 // (explicit KindPromote from a sealing primary, PromoteNow, or a
-// primary-loss timeout) persists the new fencing epoch, opens the
-// mirrored WALs, and attaches them, leaving fully warm schedulers
-// ready to serve.
+// primary-loss timeout keyed off the last frame received) persists the
+// new fencing epoch, opens the mirrored WALs, and attaches them,
+// leaving fully warm schedulers ready to serve. A tenant still
+// installing at promotion is discarded and its mirror directory
+// tombstoned (MarkDiscarded), so no recovery path can later mistake
+// the incomplete mirror for a real WAL.
 //
 // Fencing follows the rule documented with the wire replication kinds:
 // a follower promotes to epoch max(seen)+1 and persists it before
 // accepting writes; a Source whose epoch is below a connecting
-// follower's knows it has been deposed and refuses with CodeFenced.
+// follower's knows it has been deposed and refuses with CodeFenced
+// (surfacing it through Fenced and SourceConfig.OnFenced). After a
+// unilateral promotion the new primary dials the old one with the new
+// epoch until the fence is acknowledged; the divergence window this
+// covers is documented in the README.
 package repl
 
 import (
@@ -61,6 +69,34 @@ func TenantDir(tenant string) string {
 // epochFile is the name of the fencing-epoch file under a replication
 // root directory.
 const epochFile = "EPOCH"
+
+// discardedFile marks a tenant mirror directory whose install never
+// completed when its follower promoted: the bytes under it are an
+// incomplete, never-synced prefix of the old primary's WAL and must
+// not be recovered from.
+const discardedFile = "DISCARDED"
+
+// MarkDiscarded durably drops a promotion tombstone into a tenant
+// mirror directory. Recovery paths must check Discarded before opening
+// such a directory as a WAL: recovering an incomplete mirror would
+// silently serve stale state, including acked writes the mirror never
+// received.
+func MarkDiscarded(dir, reason string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFileSync(filepath.Join(dir, discardedFile), []byte(reason+"\n"))
+}
+
+// Discarded reports whether dir carries a promotion tombstone, and the
+// reason recorded when it was dropped.
+func Discarded(dir string) (reason string, ok bool) {
+	data, err := os.ReadFile(filepath.Join(dir, discardedFile))
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimSpace(string(data)), true
+}
 
 // ReadEpoch returns the fencing epoch persisted under root, or 0 when
 // none has ever been written (a first-generation primary).

@@ -2,8 +2,11 @@ package repl_test
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -124,6 +127,7 @@ func TestWarmFollowerPromoteNow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new follower: %v", err)
 	}
+	defer fol.Close()
 	runErr := make(chan error, 1)
 	go func() { runErr <- fol.Run() }()
 	waitUntil(t, "follower warm", func() bool { return fol.Stats().Warm == 1 })
@@ -231,6 +235,7 @@ func TestLateJoinSelfPromote(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new follower: %v", err)
 	}
+	defer fol.Close()
 	runErr := make(chan error, 1)
 	go func() { runErr <- fol.Run() }()
 	waitUntil(t, "late join install", func() bool {
@@ -356,6 +361,7 @@ func TestHandoff(t *testing.T) {
 	if err != nil {
 		t.Fatalf("new follower: %v", err)
 	}
+	defer fol.Close()
 	runErr := make(chan error, 1)
 	go func() { runErr <- fol.Run() }()
 	waitUntil(t, "follower warm", func() bool { return fol.Stats().Warm == 1 })
@@ -390,5 +396,233 @@ func TestHandoff(t *testing.T) {
 	sameSnapshot(t, "handoff follower", want, adopted.Snapshot())
 	if got := fol.Epoch(); got != 1 {
 		t.Fatalf("follower epoch = %d, want 1", got)
+	}
+}
+
+// fakePrimary accepts one replication connection, answers the Follow
+// handshake, runs extra (which may send more frames), and then holds
+// the connection open — reading and discarding — until the peer closes
+// it. It models a primary that wedges with its TCP connection alive.
+func fakePrimary(t *testing.T, extra func(nc net.Conn, buf []byte)) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		fr, buf, err := wire.ReadFrame(nc, nil)
+		if err != nil || fr.Kind != wire.KindFollow {
+			return
+		}
+		buf, err = wire.WriteFrame(nc, buf[:0], &wire.Frame{Kind: wire.KindFollowAck, Epoch: 0})
+		if err != nil {
+			return
+		}
+		if extra != nil {
+			extra(nc, buf)
+		}
+		io.Copy(io.Discard, nc)
+	}()
+	return ln.Addr()
+}
+
+// TestWedgedPrimarySelfPromote pins the in-session loss detector: a
+// primary that completes the handshake and then goes silent — the TCP
+// connection stays established, no FIN, no RST — must still trip
+// PromoteAfter. Before heartbeats and read deadlines the follower
+// blocked in ReadFrame forever and the advertised self-promotion never
+// fired.
+func TestWedgedPrimarySelfPromote(t *testing.T) {
+	addr := fakePrimary(t, nil)
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          t.TempDir(),
+		NewScheduler: newFollowerSched,
+		PromoteAfter: 300 * time.Millisecond,
+		RedialEvery:  20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	defer fol.Close()
+	start := time.Now()
+	if err := fol.Run(); err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	elapsed := time.Since(start)
+	st := fol.Stats()
+	if !st.Promoted {
+		t.Fatalf("follower did not promote off a wedged primary: %+v", st)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("promotion off a wedged primary took %v", elapsed)
+	}
+	if e := fol.Epoch(); e != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", e)
+	}
+}
+
+// TestHeartbeatKeepsIdleSessionAlive is the inverse: an idle but
+// HEALTHY primary heartbeats, so a follower with a short PromoteAfter
+// must NOT self-promote while the session carries pings — and must
+// still promote promptly once the primary actually dies.
+func TestHeartbeatKeepsIdleSessionAlive(t *testing.T) {
+	primaryDir := t.TempDir()
+	src := repl.NewSource(repl.SourceConfig{
+		Epoch:          0,
+		HeartbeatEvery: 50 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	obs := src.Export("acme", primaryDir)
+	prim, _, err := realloc.OpenRecovered(primaryDir,
+		append(stackOptions(), realloc.WithWALObserver(obs))...)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          t.TempDir(),
+		NewScheduler: newFollowerSched,
+		PromoteAfter: 500 * time.Millisecond,
+		RedialEvery:  20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	defer fol.Close()
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+	waitUntil(t, "follower warm", func() bool { return fol.Stats().Warm == 1 })
+
+	// Idle for several multiples of PromoteAfter: pings are the only
+	// traffic, and they must be proof of life enough.
+	select {
+	case err := <-runErr:
+		t.Fatalf("follower exited during idle-but-healthy primary: %v (stats %+v)", err, fol.Stats())
+	case <-time.After(1500 * time.Millisecond):
+	}
+	if fol.Stats().Promoted {
+		t.Fatalf("follower promoted off an idle but heartbeating primary: %+v", fol.Stats())
+	}
+
+	// Kill the primary for real; now the silence is genuine.
+	prim.Close()
+	src.Close()
+	if err := <-runErr; err != nil {
+		t.Fatalf("follower run after primary death: %v", err)
+	}
+	if !fol.Stats().Promoted {
+		t.Fatal("follower never promoted after the primary died")
+	}
+}
+
+// TestPartialInstallDiscardedTombstone: a tenant whose install never
+// completed is discarded at promotion — and the discard must be
+// durable. The mirror directory gets a tombstone so no later recovery
+// path (cmd/reallocd's OpenRecovered fallback) can silently serve the
+// incomplete state.
+func TestPartialInstallDiscardedTombstone(t *testing.T) {
+	addr := fakePrimary(t, func(nc net.Conn, buf []byte) {
+		// Begin an install but never finish it: no Installed frame.
+		wire.WriteFrame(nc, buf[:0], &wire.Frame{Kind: wire.KindCheckpointInstall, Tenant: "acme"})
+	})
+	folDir := t.TempDir()
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      addr.String(),
+		Dir:          folDir,
+		NewScheduler: newFollowerSched,
+		RedialEvery:  20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new follower: %v", err)
+	}
+	defer fol.Close()
+	runErr := make(chan error, 1)
+	go func() { runErr <- fol.Run() }()
+	waitUntil(t, "install begun", func() bool { return fol.Stats().Tenants == 1 })
+
+	fol.PromoteNow()
+	if err := <-runErr; err != nil {
+		t.Fatalf("follower run: %v", err)
+	}
+	if fol.Adopt("acme") != nil {
+		t.Fatal("partially installed tenant must not be adoptable")
+	}
+	dir := filepath.Join(folDir, repl.TenantDir("acme"))
+	reason, ok := repl.Discarded(dir)
+	if !ok {
+		t.Fatalf("no promotion tombstone in %s", dir)
+	}
+	if !strings.Contains(reason, "install incomplete") {
+		t.Fatalf("tombstone reason = %q", reason)
+	}
+	// An untouched directory carries no tombstone.
+	if _, ok := repl.Discarded(t.TempDir()); ok {
+		t.Fatal("Discarded reported a tombstone in a fresh directory")
+	}
+}
+
+// TestHandoffRefusesColdFollower pins the handoff barrier: Promote
+// must never be sent to a follower that is still installing, because
+// promotion would discard the in-flight tenant — including writes the
+// primary already acked. The handoff has to wait for warmth and, when
+// none arrives within the bound, refuse so the caller drains instead.
+func TestHandoffRefusesColdFollower(t *testing.T) {
+	dir := t.TempDir()
+	// Fabricate a tenant WAL whose segment dwarfs any socket buffer:
+	// the install cannot finish while the follower refuses to read.
+	big := make([]byte, 64<<20)
+	if err := os.WriteFile(wal.SegmentPath(dir, 1), big, 0o644); err != nil {
+		t.Fatalf("write segment: %v", err)
+	}
+	src := repl.NewSource(repl.SourceConfig{
+		Epoch:          0,
+		WriteTimeout:   30 * time.Second,
+		PromoteTimeout: 300 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	addr, err := src.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer src.Close()
+	src.Export("acme", dir)
+
+	// A hand-rolled follower that handshakes and then stops reading,
+	// wedging the snapshot transfer mid-flight.
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	buf, err := wire.WriteFrame(nc, nil, &wire.Frame{Kind: wire.KindFollow, Version: wire.Version, Epoch: 0})
+	if err != nil {
+		t.Fatalf("write follow: %v", err)
+	}
+	fr, _, err := wire.ReadFrame(nc, buf)
+	if err != nil || fr.Kind != wire.KindFollowAck {
+		t.Fatalf("handshake: frame %v, err %v", fr.Kind, err)
+	}
+
+	_, err = src.Handoff("test")
+	if err == nil {
+		t.Fatal("handoff to a cold follower must be refused")
+	}
+	if !strings.Contains(err.Error(), "refusing handoff") {
+		t.Fatalf("refusal error = %v", err)
 	}
 }

@@ -32,9 +32,20 @@ type SourceConfig struct {
 	// 64 MiB). Overflow drops the connection; the follower reconnects
 	// and reinstalls.
 	MaxPending int
-	// PromoteTimeout bounds how long Handoff waits for the chosen
-	// follower's PromoteAck (default 30s).
+	// PromoteTimeout bounds each of Handoff's two waits: for a fully
+	// warm follower to hand off to, and then for that follower's
+	// PromoteAck (default 30s each).
 	PromoteTimeout time.Duration
+	// HeartbeatEvery is the pause between Ping frames to each follower
+	// (default 100ms). Heartbeats let a follower distinguish an idle
+	// primary from a wedged one: followers key their primary-loss
+	// timeout off the last frame received, so PromoteAfter on the
+	// follower side must be several multiples of this interval.
+	HeartbeatEvery time.Duration
+	// OnFenced, when set, is called exactly once when a follower with
+	// a higher epoch connects: this primary has been deposed and must
+	// seal its write path. Called from a connection handler goroutine.
+	OnFenced func()
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -51,6 +62,9 @@ func (c *SourceConfig) fill() {
 	}
 	if c.PromoteTimeout <= 0 {
 		c.PromoteTimeout = 30 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 100 * time.Millisecond
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -78,6 +92,7 @@ type Source struct {
 	closed bool
 	sealed bool // Handoff closed the listener; Serve exits cleanly
 	fenced bool
+	done   chan struct{} // closed by Close; stops heartbeat goroutines
 	wg     sync.WaitGroup
 }
 
@@ -89,6 +104,7 @@ func NewSource(cfg SourceConfig) *Source {
 		cfg:   cfg,
 		feeds: make(map[string]*feed),
 		conns: make(map[*srcConn]struct{}),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -215,6 +231,7 @@ func (s *Source) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	ln := s.ln
 	conns := make([]*srcConn, 0, len(s.conns))
 	for c := range s.conns {
@@ -231,12 +248,19 @@ func (s *Source) Close() error {
 	return nil
 }
 
-// Handoff hands the primary role to the warmest connected follower:
-// it stops accepting new followers, sends Promote with epoch+1, and
-// waits for the PromoteAck that confirms the follower is serving. The
-// caller must have sealed the write path first (server.Handoff closes
-// the Server before calling this) — a primary must never acknowledge a
+// Handoff hands the primary role to a fully warm connected follower:
+// it stops accepting new followers, waits (bounded by PromoteTimeout)
+// for a follower with every registered tenant installed and its
+// buffered tails flushed, sends it Promote with epoch+1, and waits for
+// the PromoteAck that confirms the follower is serving. The caller
+// must have sealed the write path first (server.Handoff closes the
+// Server before calling this) — a primary must never acknowledge a
 // write after Promote is sent. Returns the new epoch.
+//
+// A follower that never warms within the bound refuses the handoff:
+// promoting it would discard its still-installing tenants — including
+// writes this primary already acked — so the caller must fall back to
+// a plain drain instead.
 func (s *Source) Handoff(reason string) (uint64, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -249,20 +273,40 @@ func (s *Source) Handoff(reason string) (uint64, error) {
 		// decision can win the promotion.
 		s.ln.Close()
 	}
-	want := len(s.feeds)
-	var target *srcConn
-	best := -1
-	for c := range s.conns {
-		if n := c.liveTenants(); n > best {
-			best, target = n, c
-		}
-	}
 	s.mu.Unlock()
-	if target == nil {
-		return 0, errors.New("repl: no follower connected")
-	}
-	if best < want {
-		s.cfg.Logf("repl: handoff target has %d/%d tenants installed; residue replays from its mirror", best, want)
+	// The write path is already sealed, so no new tails arrive: every
+	// in-flight install either completes (flushing its pending tails
+	// as it flips to live) or fails its connection. Poll until one
+	// follower holds everything this primary acked.
+	deadline := time.Now().Add(s.cfg.PromoteTimeout)
+	var target *srcConn
+	for {
+		s.mu.Lock()
+		want := len(s.feeds)
+		conns := make([]*srcConn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		var cand *srcConn
+		best := -1
+		for _, c := range conns {
+			if n := c.liveTenants(); n > best {
+				best, cand = n, c
+			}
+		}
+		if cand == nil {
+			return 0, errors.New("repl: no follower connected")
+		}
+		if best >= want {
+			target = cand
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("repl: no warm follower within %v (best has %d/%d tenants installed); refusing handoff",
+				s.cfg.PromoteTimeout, best, want)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	newEpoch := s.cfg.Epoch + 1
 	if !target.write(&wire.Frame{Kind: wire.KindPromote, Epoch: newEpoch, Detail: reason}) {
@@ -317,6 +361,11 @@ func (s *Source) handle(nc net.Conn) {
 		s.cfg.Logf("repl: expected Follow, got %v", f.Kind)
 		return
 	}
+	// Refusal writes happen before the conn is registered in s.conns,
+	// so Close cannot interrupt them: bound them with the same write
+	// deadline writeLocked uses, or a peer that never reads could
+	// stall this wg-tracked handler and delay Close.
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if f.Version != wire.Version {
 		wire.WriteFrame(nc, buf[:0], &wire.Frame{Kind: wire.KindErr, Code: wire.CodeBadRequest,
 			Detail: fmt.Sprintf("unsupported version %d", f.Version)})
@@ -326,14 +375,19 @@ func (s *Source) handle(nc net.Conn) {
 		// The fencing rule: a follower that promoted past us proves we
 		// are deposed. Tell it, record it, and refuse to ship.
 		s.mu.Lock()
+		already := s.fenced
 		s.fenced = true
 		s.mu.Unlock()
 		s.cfg.Logf("repl: FENCED: follower has epoch %d > our %d; this primary is deposed", f.Epoch, s.cfg.Epoch)
+		if !already && s.cfg.OnFenced != nil {
+			s.cfg.OnFenced()
+		}
 		wire.WriteFrame(nc, buf[:0], &wire.Frame{Kind: wire.KindErr, Code: wire.CodeFenced,
 			Detail: fmt.Sprintf("primary epoch %d below follower epoch %d", s.cfg.Epoch, f.Epoch)})
 		return
 	}
 	nc.SetReadDeadline(time.Time{})
+	nc.SetWriteDeadline(time.Time{})
 
 	c := &srcConn{
 		src:        s,
@@ -359,6 +413,9 @@ func (s *Source) handle(nc net.Conn) {
 		return
 	}
 	s.cfg.Logf("repl: follower connected from %s (%d tenants to install)", nc.RemoteAddr(), len(feeds))
+	// Not wg-tracked, like install goroutines: the heartbeat exits on
+	// its next tick once the connection fails or the source closes.
+	go c.heartbeat(s.cfg.HeartbeatEvery, s.done)
 	for _, fd := range feeds {
 		c.beginInstall(fd)
 	}
@@ -391,6 +448,25 @@ func (s *Source) dropConn(c *srcConn) {
 	s.mu.Unlock()
 }
 
+// heartbeat writes Ping frames until the connection dies or the
+// source closes. Pings interleave between data frames under c.mu, so
+// an idle-but-healthy primary still proves its liveness to followers
+// that bound the gap between frames.
+func (c *srcConn) heartbeat(every time.Duration, done <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			if !c.write(&wire.Frame{Kind: wire.KindPing}) {
+				return
+			}
+		}
+	}
+}
+
 func (c *srcConn) liveTenants() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -404,8 +480,13 @@ func (c *srcConn) liveTenants() int {
 }
 
 // fail poisons the connection: every later write is a no-op and the
-// socket is closed, which unblocks the handler's read loop.
+// socket is closed, which unblocks the handler's read loop. The close
+// happens BEFORE taking c.mu: a write in flight under the lock (a
+// wedged follower partway through its WriteTimeout) is interrupted
+// immediately instead of holding fail — and through it Source.Close —
+// until the deadline expires.
 func (c *srcConn) fail(err error) {
+	c.nc.Close()
 	c.mu.Lock()
 	c.failLocked(err)
 	c.mu.Unlock()

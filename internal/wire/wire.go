@@ -144,6 +144,12 @@ const (
 	// KindPromoteAck confirms a Promote after the follower is serving:
 	// epoch.
 	KindPromoteAck Kind = 20
+	// KindPing is a primary→follower heartbeat with no body. Followers
+	// treat any frame as proof of life and key their primary-loss
+	// timeout off the last frame received, so a primary that wedges
+	// while the kernel keeps its TCP connection established is still
+	// detected.
+	KindPing Kind = 21
 )
 
 func (k Kind) String() string {
@@ -188,6 +194,8 @@ func (k Kind) String() string {
 		return "promote"
 	case KindPromoteAck:
 		return "promoteack"
+	case KindPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -409,6 +417,8 @@ func appendPayload(b []byte, f *Frame) ([]byte, error) {
 			return b, err
 		}
 		b = appendString(b, f.Tenant)
+	case KindPing:
+		// No body: the frame's arrival is its entire meaning.
 	case KindSnapshot:
 		b = binary.AppendUvarint(b, f.ID)
 		b = binary.AppendUvarint(b, uint64(f.Machines))
@@ -668,6 +678,8 @@ func DecodePayload(p []byte) (Frame, error) {
 		if f.Tenant, err = tstr(); err != nil {
 			return fail(err)
 		}
+	case KindPing:
+		// No body.
 	case KindResize:
 		if f.ID, err = uvar(); err != nil {
 			return fail(err)
