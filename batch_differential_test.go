@@ -365,6 +365,73 @@ func TestBatchDifferentialBurstWaves(t *testing.T) {
 	assertSameSchedule(t, "burst", ref, s)
 }
 
+// TestBatchDifferentialTraceReplay runs the cluster-trace-shaped
+// scenario (diurnal curve, Pareto tails) through every stack variant
+// in both modes. Generation is γ-underallocated per variant, so no
+// request may fail and the schedules must agree exactly.
+func TestBatchDifferentialTraceReplay(t *testing.T) {
+	for _, v := range batchVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			reqs, err := workload.TraceReplay(workload.TraceConfig{
+				Seed: 59, Machines: v.machines, Gamma: 8, Horizon: 2048,
+				MinSpan: v.minSpan, Steps: 800,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := v.build()
+			for i, e := range applyAll(ref, reqs) {
+				if e != nil {
+					t.Fatalf("reference request %d failed on a clean trace: %v", i, e)
+				}
+			}
+			for _, b := range []int{1, 32, 256} {
+				s := v.build()
+				for i, e := range applyChunked(t, s, reqs, b) {
+					if e != nil {
+						t.Fatalf("batch=%d request %d failed on a clean trace: %v", b, i, e)
+					}
+				}
+				assertSameSchedule(t, fmt.Sprintf("%s trace batch=%d", v.name, b), ref, s)
+			}
+		})
+	}
+}
+
+// TestBatchDifferentialAdversarial runs the trim-threshold walk — the
+// rebuild-storm worst case — through every stack variant in both
+// modes. The storm maximizes resize churn, so this is the directed
+// check that batching never diverges from per-request execution in the
+// middle of a rebuild (or a deamortized transition).
+func TestBatchDifferentialAdversarial(t *testing.T) {
+	for _, v := range batchVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			reqs, err := workload.Adversarial(workload.AdversarialConfig{
+				Seed: 61, Machines: v.machines, Gamma: 8, Horizon: 1024,
+				MinSpan: v.minSpan, Cycles: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := v.build()
+			for i, e := range applyAll(ref, reqs) {
+				if e != nil {
+					t.Fatalf("reference request %d failed on a clean storm: %v", i, e)
+				}
+			}
+			for _, b := range []int{1, 32, 256} {
+				s := v.build()
+				for i, e := range applyChunked(t, s, reqs, b) {
+					if e != nil {
+						t.Fatalf("batch=%d request %d failed on a clean storm: %v", b, i, e)
+					}
+				}
+				assertSameSchedule(t, fmt.Sprintf("%s adversarial batch=%d", v.name, b), ref, s)
+			}
+		})
+	}
+}
+
 // TestWithBatchSizeRunAutoChunks: Run must feed batch-sized stacks
 // through the bulk path and land on the same schedule as per-request
 // execution; the sharded front-end reports its configured size too.

@@ -18,6 +18,16 @@
 //	reallocbench -scaling                   # GOMAXPROCS x shard-count scaling
 //	                                        # study with open-loop arrival-rate
 //	                                        # latency curves, BENCH_PR6.json
+//	reallocbench -scenario trace -skew 0.3  # cluster-trace shape: diurnal curve,
+//	                                        # Pareto tails, hot-key skew aimed at
+//	                                        # one shard, BENCH_TRACE.json
+//	reallocbench -scenario adversarial      # trim-threshold walk forcing rebuild
+//	                                        # storms, BENCH_ADVERSARIAL.json
+//
+// The trace and adversarial runs embed a reallocation-cost-over-time
+// curve (fixed-resolution buckets over the request stream) in each
+// run's JSON, so storms show up as spikes instead of vanishing into
+// totals.
 //
 // Request latencies are recorded into allocation-free HDR histograms
 // (internal/hdr), not retained sample slices, so quick and full runs
@@ -29,10 +39,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,6 +53,7 @@ import (
 	"repro/internal/hdr"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -79,7 +90,84 @@ type Run struct {
 	Reallocations int          `json:"reallocations"`
 	Migrations    int          `json:"migrations"`
 	Overflow      int          `json:"overflow,omitempty"`
+	Curve         []CurvePoint `json:"curve,omitempty"`
 	ShardDetail   []ShardStats `json:"shard_detail,omitempty"`
+}
+
+// CurvePoint is one bucket of a run's reallocation-cost-over-time
+// curve: the requests completed while the bucket was current paid
+// Reallocations reassignments and Migrations cross-machine moves.
+// Sequential runs bucket by request index; sharded runs bucket by
+// completion order across all drivers.
+type CurvePoint struct {
+	Start         int `json:"start"`
+	Requests      int `json:"requests"`
+	Reallocations int `json:"reallocations"`
+	Migrations    int `json:"migrations"`
+}
+
+// recordCurves turns on per-run cost curves; set once in main for the
+// scenarios whose whole point is cost-over-time shape.
+var recordCurves bool
+
+// orderedReplay turns on the drivers' reorder bound (orderGate); set
+// once in main for the scenarios whose feasibility guarantee is
+// order-sensitive (trace, adversarial).
+var orderedReplay bool
+
+// curveRecorder buckets per-request costs into a fixed number of
+// curve points. Concurrent drivers share one recorder: the bucket is
+// chosen by an atomic completion counter and the cells are atomics.
+type curveRecorder struct {
+	width int
+	seq   atomic.Int64
+	cells []struct{ reqs, reallocs, migr atomic.Int64 }
+}
+
+// newCurveRecorder sizes a recorder for `total` requests, or returns
+// nil (a no-op recorder) when curves are disabled.
+func newCurveRecorder(total int) *curveRecorder {
+	if !recordCurves || total <= 0 {
+		return nil
+	}
+	const buckets = 64
+	w := (total + buckets - 1) / buckets
+	if w < 1 {
+		w = 1
+	}
+	return &curveRecorder{
+		width: w,
+		cells: make([]struct{ reqs, reallocs, migr atomic.Int64 }, (total+w-1)/w),
+	}
+}
+
+func (c *curveRecorder) record(cost metrics.Cost) {
+	if c == nil {
+		return
+	}
+	i := int(c.seq.Add(1)-1) / c.width
+	if i >= len(c.cells) {
+		i = len(c.cells) - 1
+	}
+	c.cells[i].reqs.Add(1)
+	c.cells[i].reallocs.Add(int64(cost.Reallocations))
+	c.cells[i].migr.Add(int64(cost.Migrations))
+}
+
+func (c *curveRecorder) points() []CurvePoint {
+	if c == nil {
+		return nil
+	}
+	out := make([]CurvePoint, len(c.cells))
+	for i := range c.cells {
+		out[i] = CurvePoint{
+			Start:         i * c.width,
+			Requests:      int(c.cells[i].reqs.Load()),
+			Reallocations: int(c.cells[i].reallocs.Load()),
+			Migrations:    int(c.cells[i].migr.Load()),
+		}
+	}
+	return out
 }
 
 // CompareRow relates one run to the same-named run of a prior report.
@@ -137,7 +225,7 @@ type ShardStats struct {
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, sliding, burst, or elastic")
+		scenario = flag.String("scenario", "mixed", "workload scenario: mixed, cloud, clinic, sliding, burst, elastic, trace, or adversarial")
 		machines = flag.Int("machines", 8, "total machine pool")
 		requests = flag.Int("requests", 20000, "request count (scenario permitting)")
 		shardSet = flag.String("shards", "1,4,8", "comma-separated shard counts for the sharded runs")
@@ -155,6 +243,7 @@ func main() {
 		ratesSet = flag.String("rates", "0.5,0.75,0.9", "open-loop arrival rates for -scaling, as fractions of the measured closed-loop throughput")
 		baseline = flag.String("baseline", "", "prior burst report to embed as the dispatch baseline twin in the -scaling output")
 		twinReps = flag.Int("twinreps", 3, "repetitions per dispatch-twin config in -scaling; the median-p99 run is reported")
+		skew     = flag.Float64("skew", 0.3, "trace scenario: fraction of inserts whose names route to one shard of the first multi-shard run")
 	)
 	flag.Parse()
 
@@ -206,7 +295,23 @@ func main() {
 		runElasticScenario(*seed, *machines, *requests, *drivers, elasticShards, *out)
 		return
 	}
-	reqs, err := buildScenario(*scenario, *seed, *machines, *requests)
+	switch *scenario {
+	case "trace":
+		recordCurves, orderedReplay = true, true
+		if *out == "BENCH_PR1.json" {
+			*out = "BENCH_TRACE.json"
+		}
+	case "adversarial":
+		recordCurves, orderedReplay = true, true
+		if *out == "BENCH_PR1.json" {
+			*out = "BENCH_ADVERSARIAL.json"
+		}
+	}
+	shardCountsForSkew, err := parseShards(*shardSet)
+	if err != nil {
+		fail(err)
+	}
+	reqs, err := buildScenario(*scenario, *seed, *machines, *requests, *skew, firstMultiShard(shardCountsForSkew))
 	if err != nil {
 		fail(err)
 	}
@@ -337,8 +442,47 @@ func compareReports(path string, runs []Run) ([]CompareRow, error) {
 	return rows, nil
 }
 
-func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Request, error) {
+// firstMultiShard picks the shard count the trace scenario's skew aims
+// at: the first run with >1 shard (routing a hot fraction to "shard 0"
+// of a 1-shard run would be meaningless).
+func firstMultiShard(counts []int) int {
+	for _, c := range counts {
+		if c > 1 {
+			return c
+		}
+	}
+	return 0
+}
+
+func buildScenario(name string, seed int64, machines, requests int, skew float64, skewShards int) ([]jobs.Request, error) {
 	switch name {
+	case "trace":
+		cfg := workload.TraceConfig{
+			Seed: seed, Machines: machines, Horizon: 1 << 13, Steps: requests,
+		}
+		if skew > 0 && skewShards > 1 {
+			// The sharded runs use the default routing policy, which is
+			// exactly NewRing(shards, DefaultReplicas) — an identical
+			// driver-side ring aims the hot keys at shard 0 of the first
+			// multi-shard run.
+			ring := shard.NewRing(skewShards, shard.DefaultReplicas)
+			cfg.HotFraction = skew
+			cfg.HotRoute = func(name string) bool { return ring.Route(name, skewShards) == 0 }
+		}
+		return workload.TraceReplay(cfg)
+	case "adversarial":
+		cfg := workload.AdversarialConfig{
+			Seed: seed, Machines: machines, Horizon: 1 << 12,
+		}
+		// Scale the wave count to the requested sequence length: each
+		// cycle is roughly 2x the default peak population in requests.
+		peak := int(cfg.Horizon) * machines / 16
+		if cycles := requests / (2 * peak); cycles > 0 {
+			cfg.Cycles = cycles
+		} else {
+			cfg.Cycles = 1
+		}
+		return workload.Adversarial(cfg)
 	case "mixed":
 		return workload.Mixed(workload.MixedConfig{
 			Seed: seed, Machines: machines, Horizon: 1 << 14, Steps: requests,
@@ -365,7 +509,7 @@ func buildScenario(name string, seed int64, machines, requests int) ([]jobs.Requ
 		}
 		return workload.Burst(cfg)
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, sliding, burst, or elastic)", name)
+		return nil, fmt.Errorf("unknown scenario %q (want mixed, cloud, clinic, sliding, burst, elastic, trace, or adversarial)", name)
 	}
 }
 
@@ -398,6 +542,7 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 	s := realloc.New(realloc.WithMachines(machines))
 	lat := hdr.New()
 	failed := make(map[string]bool)
+	curve := newCurveRecorder(len(reqs))
 	var reallocs, migrations, failures, served int
 	mem := startAllocSample()
 	start := time.Now()
@@ -418,12 +563,14 @@ func runSequential(reqs []jobs.Request, machines int) Run {
 		served++
 		reallocs += c.Reallocations
 		migrations += c.Migrations
+		curve.record(c)
 	}
 	wall := time.Since(start)
 	run := Run{
 		Name: "sequential", Shards: 0, Drivers: 1,
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
+		Curve: curve.points(),
 	}
 	mem.finish(&run, wall, int(lat.Count()))
 	return finishRun(run, wall, lat.Snapshot())
@@ -437,6 +584,7 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 	s := realloc.New(realloc.WithMachines(machines))
 	lat := hdr.New()
 	failed := make(map[string]bool)
+	curve := newCurveRecorder(len(reqs))
 	var reallocs, migrations, failures, served int
 	mem := startAllocSample()
 	start := time.Now()
@@ -467,6 +615,7 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 			served++
 			reallocs += costs[i].Reallocations
 			migrations += costs[i].Migrations
+			curve.record(costs[i])
 		}
 	}
 	wall := time.Since(start)
@@ -474,6 +623,7 @@ func runSequentialBatched(reqs []jobs.Request, machines, batch int) Run {
 		Name: fmt.Sprintf("sequential-batch%d", batch), Shards: 0, Batch: batch, Drivers: 1,
 		Served: served, Failures: failures,
 		Reallocations: reallocs, Migrations: migrations,
+		Curve: curve.points(),
 	}
 	mem.finish(&run, wall, int(lat.Count()))
 	return finishRun(run, wall, lat.Snapshot())
@@ -504,6 +654,116 @@ func walTempDir() string {
 
 var walScratch []string
 
+// partitionLanes splits the request stream across driver lanes,
+// keeping every request for a given name in one lane (a delete must
+// trail its insert) and assigning names to lanes round-robin in order
+// of first appearance. The lanes used to be chosen by hashing the
+// name — the same hash family the scheduler's consistent-hash ring
+// routes by — so a workload deliberately skewed against the ring
+// (the trace scenario's hot keys) was accidentally skewed against
+// the driver too, and the overloaded hot lanes lagged hundreds of
+// requests behind the cold ones. Round-robin balances lane load by
+// construction, whatever the workload's key distribution. The second
+// return value carries each lane request's index in the original
+// stream, for the drivers that bound replay reordering (orderGate).
+func partitionLanes(reqs []jobs.Request, drivers int) ([][]jobs.Request, [][]int) {
+	lanes := make([][]jobs.Request, drivers)
+	idxs := make([][]int, drivers)
+	laneOf := make(map[string]int, len(reqs))
+	next := 0
+	for i, r := range reqs {
+		lane, ok := laneOf[r.Name]
+		if !ok {
+			lane = next
+			laneOf[r.Name] = lane
+			next = (next + 1) % drivers
+		}
+		lanes[lane] = append(lanes[lane], r)
+		idxs[lane] = append(idxs[lane], i)
+	}
+	return lanes, idxs
+}
+
+// orderGate bounds how far concurrent lanes may run ahead of the
+// replay's prefix frontier — the largest f such that requests 0..f-1
+// have all been applied (or skipped). The workload generators
+// guarantee γ-underallocation per PREFIX of the request stream; an
+// unboundedly reordered replay can hold an active set no prefix ever
+// held — inserts from step 800 alive alongside jobs the generator
+// deleted by step 200 — which transiently exceeds the budget and
+// rejects requests the scheduler serves in any near-order replay
+// (the skewed trace deterministically lost one request this way).
+// Keeping every in-flight request within `drift` of the frontier
+// caps that excess at a sliver the generators' slack absorbs, while
+// all lanes still run concurrently inside the window. Only the
+// order-sensitive scenarios pay for the gate: elsewhere it is nil
+// and the drivers' hot loops are untouched.
+type orderGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	applied  []bool
+	frontier int
+	drift    int
+}
+
+// orderDrift is how far (in stream indexes) any in-flight request may
+// run ahead of the replay's prefix frontier. 32 is tight enough that
+// the full-size skewed trace replays cleanly, yet wide enough to keep
+// every lane busy inside the window.
+const orderDrift = 32
+
+// newOrderGate returns a gate for `total` requests, or nil (a no-op)
+// when the scenario's replay is not order-sensitive. Waiting is
+// deadlock-free for any drift as long as each lane waits on the
+// smallest unapplied index it holds — the lane owning the global
+// smallest has it as its frontier and never blocks. The chunked driver
+// therefore waits on a chunk's FIRST index and bounds chunks to one
+// batch-sized stream window, rather than demanding a drift that covers
+// a whole chunk's stream span.
+func newOrderGate(total, drift int) *orderGate {
+	if !orderedReplay || total <= 0 {
+		return nil
+	}
+	g := &orderGate{applied: make([]bool, total), drift: drift}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// wait blocks until the frontier is within drift of idx. The lane
+// holding the smallest unapplied index never blocks (its index IS the
+// frontier), so the gate cannot deadlock.
+func (g *orderGate) wait(idx int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	for g.frontier < idx-g.drift {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// done marks idx applied and advances the frontier across any newly
+// contiguous prefix, waking lanes that were waiting on it. Skipped
+// requests (deletes of failed inserts) must be marked too, or the
+// frontier stalls forever.
+func (g *orderGate) done(idx int) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.applied[idx] = true
+	moved := false
+	for g.frontier < len(g.applied) && g.applied[g.frontier] {
+		g.frontier++
+		moved = true
+	}
+	if moved {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
 // shardedOpts builds the sharded scheduler options of one run; a
 // non-empty walDir turns on group-commit durability.
 func shardedOpts(machines, shards int, walDir string) []realloc.Option {
@@ -523,46 +783,72 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 	s := realloc.NewSharded(shardedOpts(machines, shards, walDir)...)
 	defer s.Close()
 
-	lanes := make([][]jobs.Request, drivers)
-	for _, r := range reqs {
-		h := fnv.New64a()
-		h.Write([]byte(r.Name))
-		lane := int(h.Sum64() % uint64(drivers))
-		lanes[lane] = append(lanes[lane], r)
-	}
+	lanes, laneIdxs := partitionLanes(reqs, drivers)
+	gate := newOrderGate(len(reqs), orderDrift)
 
 	lat := hdr.New() // concurrent-safe: all lanes record into one histogram
+	curve := newCurveRecorder(len(reqs))
 	var wg sync.WaitGroup
 	mem := startAllocSample()
 	start := time.Now()
-	for _, rs := range lanes {
+	for li, rs := range lanes {
 		wg.Add(1)
-		go func(rs []jobs.Request) {
+		go func(rs []jobs.Request, idxs []int) {
 			defer wg.Done()
 			failed := make(map[string]bool)
-			for off := 0; off < len(rs); off += batch {
+			for off := 0; off < len(rs); {
 				end := off + batch
 				if end > len(rs) {
 					end = len(rs)
 				}
+				if gate != nil {
+					// A lane's requests are spread across the whole
+					// stream, so a chunk of `batch` lane requests spans
+					// ~batch*drivers stream indexes — far more reordering
+					// than the gate's drift tolerates (and waiting out a
+					// whole chunk's span can deadlock lanes against each
+					// other). Bound each chunk to one global window of
+					// orderDrift stream indexes instead: the lanes'
+					// chunks then tile the stream in drift-sized epochs,
+					// and since the gate only waits on a chunk's first
+					// index, replay stays within ~2*orderDrift of stream
+					// order whatever the batch size — at the cost of
+					// smaller chunks (~orderDrift/drivers requests each)
+					// for the order-sensitive scenarios only.
+					epochEnd := (idxs[off]/orderDrift + 1) * orderDrift
+					end = off + sort.SearchInts(idxs[off:end], epochEnd)
+				}
 				chunk := filterFailed(rs[off:end], failed)
 				if len(chunk) == 0 {
+					for _, idx := range idxs[off:end] {
+						gate.done(idx)
+					}
+					off = end
 					continue
 				}
+				gate.wait(idxs[off])
 				t0 := time.Now()
-				_, err := s.ApplyBatch(chunk)
+				costs, err := s.ApplyBatch(chunk)
 				lat.RecordN(int64(time.Since(t0)), uint64(len(chunk)))
 				var be *realloc.BatchError
 				if err != nil {
 					be, _ = err.(*realloc.BatchError)
 				}
 				for i, r := range chunk {
-					if be != nil && be.At(i) != nil && r.Kind == jobs.Insert {
-						failed[r.Name] = true
+					if be != nil && be.At(i) != nil {
+						if r.Kind == jobs.Insert {
+							failed[r.Name] = true
+						}
+						continue
 					}
+					curve.record(costs[i])
 				}
+				for _, idx := range idxs[off:end] {
+					gate.done(idx)
+				}
+				off = end
 			}
-		}(rs)
+		}(rs, laneIdxs[li])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -579,6 +865,7 @@ func runShardedBatched(reqs []jobs.Request, machines, shards, drivers, batch int
 		Overflow:      tot.Overflow,
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
+		Curve:         curve.points(),
 	}
 	mem.finish(&run, wall, int(lat.Count()))
 	run.ShardDetail = shardDetail(rep.Shards)
@@ -602,35 +889,38 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir strin
 	s := realloc.NewSharded(shardedOpts(machines, shards, walDir)...)
 	defer s.Close()
 
-	lanes := make([][]jobs.Request, drivers)
-	for _, r := range reqs {
-		h := fnv.New64a()
-		h.Write([]byte(r.Name))
-		lane := int(h.Sum64() % uint64(drivers))
-		lanes[lane] = append(lanes[lane], r)
-	}
+	lanes, laneIdxs := partitionLanes(reqs, drivers)
+	gate := newOrderGate(len(reqs), orderDrift)
 
 	lat := hdr.New() // concurrent-safe: all lanes record into one histogram
+	curve := newCurveRecorder(len(reqs))
 	var wg sync.WaitGroup
 	mem := startAllocSample()
 	start := time.Now()
-	for _, rs := range lanes {
+	for li, rs := range lanes {
 		wg.Add(1)
-		go func(rs []jobs.Request) {
+		go func(rs []jobs.Request, idxs []int) {
 			defer wg.Done()
 			failed := make(map[string]bool)
-			for _, r := range rs {
+			for k, r := range rs {
 				if r.Kind == jobs.Delete && failed[r.Name] {
+					gate.done(idxs[k])
 					continue
 				}
+				gate.wait(idxs[k])
 				t0 := time.Now()
-				_, err := s.Apply(r)
+				c, err := s.Apply(r)
 				lat.Record(int64(time.Since(t0)))
-				if err != nil && r.Kind == jobs.Insert {
-					failed[r.Name] = true
+				gate.done(idxs[k])
+				if err != nil {
+					if r.Kind == jobs.Insert {
+						failed[r.Name] = true
+					}
+					continue
 				}
+				curve.record(c)
 			}
-		}(rs)
+		}(rs, laneIdxs[li])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -646,6 +936,7 @@ func runSharded(reqs []jobs.Request, machines, shards, drivers int, walDir strin
 		Overflow:      tot.Overflow,
 		Reallocations: tot.Cost.Reallocations,
 		Migrations:    tot.Cost.Migrations,
+		Curve:         curve.points(),
 	}
 	mem.finish(&run, wall, int(lat.Count()))
 	run.ShardDetail = shardDetail(rep.Shards)
@@ -857,13 +1148,7 @@ func runElasticScenario(seed int64, machines, requests, drivers, shards int, out
 // requests by job name so each job's insert/delete order is preserved
 // within its lane.
 func servePhase(s *realloc.Sharded, p workload.ElasticPhase, drivers int) PhaseStat {
-	lanes := make([][]jobs.Request, drivers)
-	for _, r := range p.Reqs {
-		h := fnv.New64a()
-		h.Write([]byte(r.Name))
-		lane := int(h.Sum64() % uint64(drivers))
-		lanes[lane] = append(lanes[lane], r)
-	}
+	lanes, _ := partitionLanes(p.Reqs, drivers)
 	lat := hdr.New()
 	var failed atomic.Int64
 	var wg sync.WaitGroup

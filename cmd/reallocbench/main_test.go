@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// mkStream builds a request stream of `n` inserts round-robining over
+// `names` distinct job names, so lane affinity and balance are easy to
+// assert against.
+func mkStream(n, names int) []jobs.Request {
+	reqs := make([]jobs.Request, n)
+	for i := range reqs {
+		reqs[i] = jobs.InsertReq(fmt.Sprintf("job-%03d", i%names), jobs.Time(i), jobs.Time(i+1))
+	}
+	return reqs
+}
+
+// partitionLanes must keep every request of a job name in one lane (the
+// whole point of lane partitioning: per-job insert/delete order), and
+// must balance names across lanes by construction — NOT by hashing the
+// name, which correlated lane load with the scheduler's consistent-hash
+// ring and let a ring-skewed workload skew the drivers too.
+func TestPartitionLanesNameAffinityAndBalance(t *testing.T) {
+	const drivers = 4
+	reqs := mkStream(400, 40)
+	lanes, idxs := partitionLanes(reqs, drivers)
+
+	laneOf := make(map[string]int)
+	total := 0
+	for li, rs := range lanes {
+		if len(rs) != len(idxs[li]) {
+			t.Fatalf("lane %d: %d requests but %d indexes", li, len(rs), len(idxs[li]))
+		}
+		total += len(rs)
+		for k, r := range rs {
+			if prev, ok := laneOf[r.Name]; ok && prev != li {
+				t.Fatalf("job %s split across lanes %d and %d", r.Name, prev, li)
+			}
+			laneOf[r.Name] = li
+			if reqs[idxs[li][k]].Name != r.Name {
+				t.Fatalf("lane %d slot %d: index %d names %s, want %s",
+					li, k, idxs[li][k], reqs[idxs[li][k]].Name, r.Name)
+			}
+			if k > 0 && idxs[li][k] <= idxs[li][k-1] {
+				t.Fatalf("lane %d indexes not increasing at slot %d", li, k)
+			}
+		}
+	}
+	if total != len(reqs) {
+		t.Fatalf("lanes hold %d requests, want %d", total, len(reqs))
+	}
+	// Round-robin assignment: 40 names over 4 lanes is exactly 10 each.
+	names := make(map[int]int)
+	for _, li := range laneOf {
+		names[li]++
+	}
+	for li := 0; li < drivers; li++ {
+		if names[li] != 10 {
+			t.Fatalf("lane %d got %d names, want 10 (round-robin)", li, names[li])
+		}
+	}
+}
+
+// The gate must hold every in-flight index within drift of the prefix
+// frontier: with the frontier stuck at 0 (index 0 not yet done), any
+// index beyond the drift blocks until 0 completes.
+func TestOrderGateBoundsDrift(t *testing.T) {
+	defer func(prev bool) { orderedReplay = prev }(orderedReplay)
+	orderedReplay = true
+
+	g := newOrderGate(100, 8)
+	if g == nil {
+		t.Fatal("gate is nil with orderedReplay set")
+	}
+	g.wait(8) // within drift of frontier 0: must not block
+
+	released := make(chan struct{})
+	go func() {
+		g.wait(9) // one past the drift: blocks until the frontier moves
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("wait(9) returned with frontier at 0 and drift 8")
+	default:
+	}
+	g.done(0)
+	<-released
+}
+
+// done must advance the frontier across the whole newly contiguous
+// prefix, not just one slot — out-of-order completions inside the drift
+// window pile up until the missing index lands.
+func TestOrderGateFrontierSkipsContiguousPrefix(t *testing.T) {
+	defer func(prev bool) { orderedReplay = prev }(orderedReplay)
+	orderedReplay = true
+
+	g := newOrderGate(10, 1)
+	for _, idx := range []int{1, 2, 3, 4} {
+		g.done(idx)
+	}
+	g.wait(1) // frontier still 0: 1-drift = 0 ≤ 0, fine
+	g.done(0) // frontier jumps 0 → 5
+	g.wait(6) // needs frontier ≥ 5: returns only if the jump happened
+}
+
+// Concurrent lanes replaying disjoint index sets through the gate must
+// terminate (no deadlock) for a drift far smaller than a lane's span —
+// the property the batched driver relies on by always waiting on its
+// chunk's smallest unapplied index.
+func TestOrderGateConcurrentLanesNoDeadlock(t *testing.T) {
+	defer func(prev bool) { orderedReplay = prev }(orderedReplay)
+	orderedReplay = true
+
+	const total, lanes = 1000, 5
+	g := newOrderGate(total, 4)
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for idx := l; idx < total; idx += lanes {
+				g.wait(idx)
+				g.done(idx)
+			}
+		}(l)
+	}
+	wg.Wait()
+	if g.frontier != total {
+		t.Fatalf("frontier %d after all lanes done, want %d", g.frontier, total)
+	}
+}

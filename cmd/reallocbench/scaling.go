@@ -20,7 +20,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
 	"sort"
@@ -113,7 +112,7 @@ func runScalingStudy(cfg scalingConfig) {
 	if err != nil {
 		fail(err)
 	}
-	reqs, err := buildScenario("mixed", cfg.seed, cfg.machines, cfg.requests)
+	reqs, err := buildScenario("mixed", cfg.seed, cfg.machines, cfg.requests, 0, 0)
 	if err != nil {
 		fail(err)
 	}
@@ -173,7 +172,7 @@ func runScalingStudy(cfg scalingConfig) {
 // must be invoked with the same -machines/-requests/-drivers/-seed the
 // baseline report was produced with for the ratios to mean anything.
 func runDispatchTwin(cfg scalingConfig) *DispatchTwin {
-	burst, err := buildScenario("burst", cfg.seed, cfg.machines, cfg.requests)
+	burst, err := buildScenario("burst", cfg.seed, cfg.machines, cfg.requests, 0, 0)
 	if err != nil {
 		fail(err)
 	}
@@ -227,13 +226,7 @@ func runOpenLoop(reqs []jobs.Request, machines, shards, drivers int, targetRPS f
 	s := realloc.NewSharded(shardedOpts(machines, shards, "")...)
 	defer s.Close()
 
-	lanes := make([][]jobs.Request, drivers)
-	for _, r := range reqs {
-		h := fnv.New64a()
-		h.Write([]byte(r.Name))
-		lane := int(h.Sum64() % uint64(drivers))
-		lanes[lane] = append(lanes[lane], r)
-	}
+	lanes, _ := partitionLanes(reqs, drivers)
 
 	lat := hdr.New()
 	var failed atomic.Int64

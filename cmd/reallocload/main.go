@@ -27,6 +27,19 @@
 //	reallocload ... -ackedlog acked.log -tolerate-drop   # during the kill
 //	reallocload -verify 127.0.0.1:7413 -ackedlog acked.log
 //
+// Scenarios: -scenario churn (default) synthesizes the window-rotating
+// insert/delete stream inline. -scenario trace replays a pregenerated
+// cluster-trace-shaped workload (diurnal rate curve, bounded-Pareto
+// spans, hot-key skew aimed at shard 0 of the server's per-tenant ring
+// via -skew/-shards), and -scenario adversarial replays the
+// n*-threshold walk — both built per tenant from -seed so the served
+// path sees the same storms the embedded benchmarks do. Deletes whose
+// inserts were shed by admission control ack unknown-job; those are
+// counted separately, not as failures. -ackedlog only makes sense for
+// churn's monotone names and is rejected for the replay scenarios.
+//
+//	reallocload ... -scenario trace -skew 0.8 -shards 4
+//
 // Exit status: 0 on a clean run; 1 on transport failure; 2 when
 // -strict finds protocol errors or lost acks, p99 exceeds -maxp99us,
 // or -verify finds missing acked writes.
@@ -49,12 +62,15 @@ import (
 	"repro/client"
 	"repro/internal/hdr"
 	"repro/internal/jobs"
+	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 // Report is the machine-readable result, shaped like the BENCH_*.json
 // files reallocbench emits.
 type Report struct {
 	Addr          string  `json:"addr"`
+	Scenario      string  `json:"scenario"`
 	Tenants       int     `json:"tenants"`
 	RatePerTenant float64 `json:"rate_per_tenant_rps"`
 	DurationSec   float64 `json:"duration_sec"`
@@ -65,6 +81,7 @@ type Report struct {
 	OK            int     `json:"ok"`
 	Overload      int     `json:"overload"`
 	Deadline      int     `json:"deadline"`
+	Unknown       int     `json:"unknown,omitempty"`
 	Failures      int     `json:"failures"`
 	ProtoErrors   int     `json:"proto_errors"`
 	LostAcks      int     `json:"lost_acks"`
@@ -79,6 +96,7 @@ type Report struct {
 type counters struct {
 	scheduled, acked           atomic.Int64
 	ok, overload, dl, failures atomic.Int64
+	unknown                    atomic.Int64
 	protoErrors, dropped       atomic.Int64
 }
 
@@ -141,6 +159,11 @@ func main() {
 		ackPath  = flag.String("ackedlog", "", "record acked-OK inserts and attempted deletes to this file")
 		tolerate = flag.Bool("tolerate-drop", false, "count a mid-run connection loss as an outcome, not a failure")
 		verify   = flag.String("verify", "", "verify an -ackedlog against this server's snapshots instead of generating load")
+		scenario = flag.String("scenario", "churn", "workload shape: churn, trace, or adversarial")
+		seed     = flag.Int64("seed", 1, "base seed for the trace/adversarial scenarios (tenant index is mixed in)")
+		skew     = flag.Float64("skew", 0.5, "trace scenario: fraction of inserts aimed at one shard of the server ring (0 = no skew)")
+		shards   = flag.Int("shards", 4, "trace scenario: shard count of the server's per-tenant ring (reallocd -shards)")
+		machines = flag.Int("machines", 16, "trace/adversarial scenarios: machine count the generator budgets for (reallocd -machines)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "reallocload: ", log.LstdFlags)
@@ -152,6 +175,17 @@ func main() {
 		os.Exit(runVerify(logger, *verify, *ackPath))
 	}
 
+	switch *scenario {
+	case "churn", "trace", "adversarial":
+	default:
+		logger.Fatalf("unknown scenario %q (want churn, trace, or adversarial)", *scenario)
+	}
+	if *ackPath != "" && *verify == "" && *scenario != "churn" {
+		// The verify pass derives tenants from churn's monotone name
+		// scheme; a replayed trace would silently verify nothing.
+		logger.Fatalf("-ackedlog requires -scenario churn")
+	}
+
 	var acks *ackLog
 	if *ackPath != "" {
 		var err error
@@ -159,6 +193,22 @@ func main() {
 			logger.Fatalf("ackedlog: %v", err)
 		}
 		defer acks.close()
+	}
+
+	// The replay scenarios are pregenerated so the open loop spends its
+	// schedule on the wire, not on the generator: one decorrelated
+	// sequence per tenant (the generator splitmixes its seed, so
+	// adjacent per-tenant seeds do not alias).
+	loads := make([][]jobs.Request, *tenants)
+	if *scenario != "churn" {
+		total := int(duration.Seconds() * *rate)
+		for ti := range loads {
+			reqs, err := buildTenantLoad(*scenario, *seed+int64(ti), total, *machines, *skew, *shards)
+			if err != nil {
+				logger.Fatalf("scenario %s: %v", *scenario, err)
+			}
+			loads[ti] = reqs
+		}
 	}
 
 	lat := hdr.New()
@@ -170,7 +220,7 @@ func main() {
 		go func(ti int) {
 			defer wg.Done()
 			runTenant(logger, fmt.Sprintf("load-%d", ti), *addr, *rate, *duration,
-				*deadline, *span, *churn, lat, &c, acks, *tolerate)
+				*deadline, *span, *churn, loads[ti], lat, &c, acks, *tolerate)
 		}(ti)
 	}
 	wg.Wait()
@@ -179,6 +229,7 @@ func main() {
 	snap := lat.Snapshot()
 	rep := Report{
 		Addr:          *addr,
+		Scenario:      *scenario,
 		Tenants:       *tenants,
 		RatePerTenant: *rate,
 		DurationSec:   duration.Seconds(),
@@ -188,6 +239,7 @@ func main() {
 		OK:            int(c.ok.Load()),
 		Overload:      int(c.overload.Load()),
 		Deadline:      int(c.dl.Load()),
+		Unknown:       int(c.unknown.Load()),
 		Failures:      int(c.failures.Load()),
 		ProtoErrors:   int(c.protoErrors.Load()),
 		LostAcks:      int(c.scheduled.Load() - c.acked.Load() - c.dropped.Load()),
@@ -202,9 +254,9 @@ func main() {
 		rep.DeadlineUS = uint64(*deadline / time.Microsecond)
 	}
 
-	logger.Printf("%d scheduled, %d acked (%d ok, %d overload, %d deadline, %d failed), %d dropped, p50=%.0fµs p99=%.0fµs max=%.0fµs",
-		rep.Scheduled, rep.Acked, rep.OK, rep.Overload, rep.Deadline, rep.Failures,
-		rep.Dropped, rep.P50LatencyUS, rep.P99LatencyUS, rep.MaxLatencyUS)
+	logger.Printf("%s: %d scheduled, %d acked (%d ok, %d overload, %d deadline, %d unknown, %d failed), %d dropped, p50=%.0fµs p99=%.0fµs max=%.0fµs",
+		rep.Scenario, rep.Scheduled, rep.Acked, rep.OK, rep.Overload, rep.Deadline, rep.Unknown,
+		rep.Failures, rep.Dropped, rep.P50LatencyUS, rep.P99LatencyUS, rep.MaxLatencyUS)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -227,9 +279,42 @@ func main() {
 	}
 }
 
-// runTenant drives one tenant's open-loop schedule to completion.
+// buildTenantLoad pregenerates one tenant's replay scenario. The trace
+// is sized to the open-loop schedule exactly; the adversarial walk is
+// sized by cycles, so its length tracks total only approximately — the
+// replay just runs the sequence it got.
+func buildTenantLoad(scenario string, seed int64, total, machines int, skew float64, shards int) ([]jobs.Request, error) {
+	switch scenario {
+	case "trace":
+		cfg := workload.TraceConfig{Seed: seed, Machines: machines, Horizon: 1 << 12, Steps: total}
+		if skew > 0 && shards > 1 {
+			// reallocd builds each tenant's scheduler with the default
+			// routing policy — NewRing(shards, DefaultReplicas) — so an
+			// identical client-side ring aims the hot keys at shard 0.
+			ring := shard.NewRing(shards, shard.DefaultReplicas)
+			cfg.HotFraction = skew
+			cfg.HotRoute = func(name string) bool { return ring.Route(name, shards) == 0 }
+		}
+		return workload.TraceReplay(cfg)
+	case "adversarial":
+		cfg := workload.AdversarialConfig{Seed: seed, Machines: machines, Horizon: 1 << 11}
+		peak := int(cfg.Horizon) * machines / 16
+		if cycles := total / (2 * peak); cycles > 0 {
+			cfg.Cycles = cycles
+		} else {
+			cfg.Cycles = 1
+		}
+		return workload.Adversarial(cfg)
+	default:
+		return nil, fmt.Errorf("no pregenerated load for scenario %q", scenario)
+	}
+}
+
+// runTenant drives one tenant's open-loop schedule to completion. A
+// non-nil reqs replays that pregenerated sequence; otherwise the churn
+// scenario synthesizes its requests inline.
 func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, deadline time.Duration,
-	span int64, churn int, lat *hdr.Histogram, c *counters, acks *ackLog, tolerate bool) {
+	span int64, churn int, reqs []jobs.Request, lat *hdr.Histogram, c *counters, acks *ackLog, tolerate bool) {
 	cl, err := client.Dial(addr, tenant)
 	if err != nil {
 		logger.Printf("%s: dial: %v", tenant, err)
@@ -240,6 +325,9 @@ func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, 
 
 	interval := time.Duration(float64(time.Second) / rate)
 	total := int(duration.Seconds() * rate)
+	if reqs != nil {
+		total = len(reqs)
+	}
 	start := time.Now()
 	var inner sync.WaitGroup
 	for i := 0; i < total; i++ {
@@ -249,15 +337,22 @@ func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, 
 			time.Sleep(d)
 		}
 		var req jobs.Request
+		var name string
 		insert := true
-		name := fmt.Sprintf("%s-%06d", tenant, i)
-		if churn > 0 && i%churn == churn-1 {
-			insert = false
-			name = fmt.Sprintf("%s-%06d", tenant, i-1)
-			req = jobs.DeleteReq(name)
+		if reqs != nil {
+			req = reqs[i]
+			name = req.Name
+			insert = req.Kind == jobs.Insert
 		} else {
-			s := (int64(i) % 16) * span
-			req = jobs.InsertReq(name, s, s+span)
+			name = fmt.Sprintf("%s-%06d", tenant, i)
+			if churn > 0 && i%churn == churn-1 {
+				insert = false
+				name = fmt.Sprintf("%s-%06d", tenant, i-1)
+				req = jobs.DeleteReq(name)
+			} else {
+				s := (int64(i) % 16) * span
+				req = jobs.InsertReq(name, s, s+span)
+			}
 		}
 		if !insert {
 			// A delete is logged when ATTEMPTED, not when acked: once
@@ -303,6 +398,11 @@ func runTenant(logger *log.Logger, tenant, addr string, rate float64, duration, 
 				c.overload.Add(1)
 			case isVerdict(err, client.ErrDeadline):
 				c.dl.Add(1)
+			case isVerdict(err, client.ErrUnknownJob) && !insert:
+				// The delete's insert was shed upstream (admission budget
+				// or infeasibility): an expected storm outcome, not a
+				// failure of the served path.
+				c.unknown.Add(1)
 			case isVerdict(err, client.ErrDuplicate), isVerdict(err, client.ErrUnknownJob),
 				isVerdict(err, client.ErrInfeasible):
 				c.failures.Add(1) // per-request verdicts, not protocol errors

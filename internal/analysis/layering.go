@@ -189,14 +189,15 @@ func DefaultLayerRules() map[string]LayerRule {
 		// --- public API and commands ---
 		root: {Internal: []string{alignsch, core, edf, fault, feasible, jobs, metrics, multi, naive, sched, shard, trim, wal},
 			Note: "the public API composes the stacks; internals never import it back"},
-		"repro/cmd/reallocbench": {Internal: []string{root, hdr, jobs, metrics, workload}},
+		"repro/cmd/reallocbench": {Internal: []string{root, hdr, jobs, metrics, shard, workload},
+			Note: "shard only for the ring that aims the trace scenario's hot keys"},
 		"repro/cmd/reallocsim":   {Internal: []string{sim}},
 		"repro/cmd/realloctrace": {Internal: []string{root, core, edf, naive, sched, stress, trace, wal, workload}},
 		"repro/cmd/reallocvet":   {Internal: []string{analysisP}, Note: "the multichecker wraps the analysis toolkit"},
 		"repro/cmd/reallocd": {Internal: []string{root, repl, server, shard, wal},
 			Note: "the daemon composes public-API schedulers into the server and replication stack"},
-		"repro/cmd/reallocload": {Internal: []string{clientP, hdr, jobs},
-			Note: "the load generator is a pure client: frames in, histograms out"},
+		"repro/cmd/reallocload": {Internal: []string{clientP, hdr, jobs, shard, workload},
+			Note: "still a pure client on the wire; workload pregenerates the replay scenarios and shard's ring aims their hot keys"},
 
 		// --- examples: drive the public API (sizedjobs/quickstart also
 		// demo internal helpers directly) ---

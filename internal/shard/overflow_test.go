@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/feasible"
+	"repro/internal/jobs"
+	"repro/internal/sched"
+)
+
+// hotPolicy routes every "hot-" name to shard 0 and spreads the rest —
+// the directed version of the skew a pathological tenant's key
+// distribution produces on the consistent-hash ring.
+func hotPolicy() Policy {
+	ring := NewRing(4, 0)
+	return PolicyFunc(func(name string, shards int) int {
+		if strings.HasPrefix(name, "hot-") {
+			return 0
+		}
+		return ring.Route(name, shards)
+	})
+}
+
+func hotStormScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	s := New(Config{Shards: 4, Machines: 4, Factory: stackFactory, Policy: hotPolicy()})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// hotInsert builds the storm request: every job wants the same aligned
+// window [0, 4), so each one-machine shard holds exactly 4 of them.
+func hotInsert(i int) jobs.Request {
+	return jobs.InsertReq(fmt.Sprintf("hot-%02d", i), 0, 4)
+}
+
+// TestOverflowStormSequential drives 24 hot-key inserts at a 16-slot
+// cluster whose policy routes all of them to shard 0 (capacity 4) and
+// pins the overflow path's exact bookkeeping: single-hop termination,
+// exact Overflow/Rerouted/Failures counters, and a feasible final
+// schedule using the whole cluster, not just the hot shard.
+func TestOverflowStormSequential(t *testing.T) {
+	s := hotStormScheduler(t)
+	okN, failN := 0, 0
+	for i := 0; i < 24; i++ {
+		_, err := s.Apply(hotInsert(i))
+		switch {
+		case err == nil:
+			okN++
+		case errors.Is(err, sched.ErrInfeasible):
+			failN++
+		default:
+			t.Fatalf("insert %d: unexpected error %v", i, err)
+		}
+	}
+	// Every request returned (no livelock), and exactly cluster
+	// capacity committed: 4 on the hot shard, 12 via overflow.
+	if okN != 16 || failN != 8 {
+		t.Fatalf("ok=%d fail=%d, want 16/8", okN, failN)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	if tot.Active != 16 {
+		t.Errorf("active = %d, want 16", tot.Active)
+	}
+	// The hot shard rejected everything past its 4 slots; nothing else
+	// ever rerouted (a reroute on a fallback shard would mean the hop
+	// ping-ponged instead of terminating).
+	if rep.Shards[0].Rerouted != 20 || tot.Rerouted != 20 {
+		t.Errorf("rerouted = %d on shard 0, %d total, want 20/20", rep.Shards[0].Rerouted, tot.Rerouted)
+	}
+	// Overflow counts successful single-hop placements only, and the
+	// inflight-aware fallback pick spreads them evenly.
+	if tot.Overflow != 12 {
+		t.Errorf("overflow total = %d, want 12", tot.Overflow)
+	}
+	for i := 1; i <= 3; i++ {
+		if rep.Shards[i].Overflow != 4 {
+			t.Errorf("shard %d overflow = %d, want 4", i, rep.Shards[i].Overflow)
+		}
+	}
+	if tot.Failures != 8 {
+		t.Errorf("failures = %d, want 8", tot.Failures)
+	}
+	snap := s.Snapshot()
+	if len(snap.Assignment) != 16 {
+		t.Fatalf("snapshot has %d jobs, want 16", len(snap.Assignment))
+	}
+	if err := feasible.VerifySchedule(snap.Jobs, snap.Assignment, snap.Machines); err != nil {
+		t.Fatalf("final schedule infeasible: %v", err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverflowStormNoThunderingHerd submits exactly cluster capacity
+// asynchronously. The 12 overflow hops are chosen while their
+// predecessors are still in flight, so only the inflight reservations
+// in leastLoaded keep them from stampeding onto one victim shard and
+// bouncing off its full book: with the reservations every job lands,
+// without them some of the herd fails while other shards sit empty.
+func TestOverflowStormNoThunderingHerd(t *testing.T) {
+	s := hotStormScheduler(t)
+	for i := 0; i < 16; i++ {
+		if err := s.Submit(hotInsert(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain reported async failures: %v", err)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	if tot.Failures != 0 {
+		t.Fatalf("failures = %d — overflow herd overran a shard that inflight accounting should have balanced", tot.Failures)
+	}
+	if tot.Active != 16 || tot.Overflow != 12 {
+		t.Errorf("active = %d overflow = %d, want 16/12", tot.Active, tot.Overflow)
+	}
+	for i := 0; i < 4; i++ {
+		if rep.Shards[i].Active != 4 {
+			t.Errorf("shard %d active = %d, want a fully balanced 4", i, rep.Shards[i].Active)
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverflowStormBatch pushes the same 24-insert storm through
+// ApplyBatch: the reconcile pass must spread the 20 rerouted inserts
+// with the same inflight-aware balance and the same exact counters as
+// the per-request path.
+func TestOverflowStormBatch(t *testing.T) {
+	s := hotStormScheduler(t)
+	reqs := make([]jobs.Request, 24)
+	for i := range reqs {
+		reqs[i] = hotInsert(i)
+	}
+	_, err := s.ApplyBatch(reqs)
+	if err == nil {
+		t.Fatal("want per-request failures past cluster capacity")
+	}
+	var be *sched.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("non-batch error: %v", err)
+	}
+	if len(be.Evicted) != 0 {
+		t.Fatalf("storm shed committed jobs: %v", be.Evicted)
+	}
+	okN, failN := 0, 0
+	for k := range reqs {
+		switch e := be.At(k); {
+		case e == nil:
+			okN++
+		case errors.Is(e, sched.ErrInfeasible):
+			failN++
+		default:
+			t.Fatalf("request %d: unexpected error %v", k, e)
+		}
+	}
+	if okN != 16 || failN != 8 {
+		t.Fatalf("ok=%d fail=%d, want 16/8", okN, failN)
+	}
+	rep := s.Report()
+	tot := rep.Total()
+	if tot.Active != 16 || tot.Overflow != 12 || tot.Failures != 8 {
+		t.Errorf("active=%d overflow=%d failures=%d, want 16/12/8", tot.Active, tot.Overflow, tot.Failures)
+	}
+	if rep.Shards[0].Rerouted != 20 || tot.Rerouted != 20 {
+		t.Errorf("rerouted = %d on shard 0, %d total, want 20/20", rep.Shards[0].Rerouted, tot.Rerouted)
+	}
+	snap := s.Snapshot()
+	if err := feasible.VerifySchedule(snap.Jobs, snap.Assignment, snap.Machines); err != nil {
+		t.Fatalf("final schedule infeasible: %v", err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package trim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// stormSequence builds the adversarial threshold walk sized for one
+// machine: the population marches across the n* doubling/halving
+// thresholds every cycle.
+func stormSequence(t *testing.T, minSpan int64) []jobs.Request {
+	t.Helper()
+	reqs, err := workload.Adversarial(workload.AdversarialConfig{
+		Seed: 17, Machines: 1, Gamma: 8, Horizon: 1024, Cycles: 6, MinSpan: minSpan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestThresholdStormTrim replays the adversarial walk through the
+// amortized trim layer: every wave must force rebuilds, and the storm
+// must never leave the scheduler poisoned, out of sync with its active
+// set, or holding stale evicted-name bookkeeping.
+func TestThresholdStormTrim(t *testing.T) {
+	reqs := stormSequence(t, 1)
+	s := New(8, func() sched.Scheduler { return core.New() })
+	live := 0
+	for i, r := range reqs {
+		if _, err := sched.Apply(s, r); err != nil {
+			t.Fatalf("request %d (%s) failed on an underallocated stream: %v", i, r, err)
+		}
+		if r.Kind == jobs.Insert {
+			live++
+		} else {
+			live--
+		}
+		if i%97 == 0 {
+			if err := s.SelfCheck(); err != nil {
+				t.Fatalf("self-check after request %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("final self-check: %v", err)
+	}
+	if s.Active() != live {
+		t.Fatalf("active = %d, replay says %d live jobs", s.Active(), live)
+	}
+	// Each of the 6 cycles crosses the doubling threshold on the way up
+	// and the halving threshold on the way down, so the storm must have
+	// paid well over one rebuild per cycle.
+	if s.Rebuilds() < 12 {
+		t.Errorf("only %d rebuilds — the walk should force >= 2 per cycle", s.Rebuilds())
+	}
+	// The per-request path must not leak evicted-name bookkeeping (it
+	// belongs to the batch shed path alone).
+	if ev := s.TakeBatchEvictions(); len(ev) != 0 {
+		t.Errorf("per-request storm leaked %d evicted names: %v", len(ev), ev)
+	}
+	// Not poisoned: a fresh insert and delete still work.
+	if _, err := s.Insert(jobs.Job{Name: "post-storm", Window: jobs.Window{Start: 0, End: 1024}}); err != nil {
+		t.Fatalf("insert after storm: %v", err)
+	}
+	if _, err := s.Delete("post-storm"); err != nil {
+		t.Fatalf("delete after storm: %v", err)
+	}
+}
+
+// TestThresholdStormIncremental replays the same walk (with spans >= 2,
+// the deamortized layer's floor) through trim.Incremental: transitions
+// must actually trigger, drain fully, and never desync the parity
+// bookkeeping.
+func TestThresholdStormIncremental(t *testing.T) {
+	reqs := stormSequence(t, 2)
+	s := NewIncremental(8, func() sched.Scheduler { return core.New() })
+	live := 0
+	for i, r := range reqs {
+		if _, err := sched.Apply(s, r); err != nil {
+			t.Fatalf("request %d (%s) failed on an underallocated stream: %v", i, r, err)
+		}
+		if r.Kind == jobs.Insert {
+			live++
+		} else {
+			live--
+		}
+		if i%97 == 0 {
+			if err := s.SelfCheck(); err != nil {
+				t.Fatalf("self-check after request %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("final self-check: %v", err)
+	}
+	if s.Active() != live {
+		t.Fatalf("active = %d, replay says %d live jobs", s.Active(), live)
+	}
+	if s.Transitions() < 12 {
+		t.Errorf("only %d transitions — the walk should force >= 2 per cycle", s.Transitions())
+	}
+	// A possibly in-flight final transition must drain under idle churn
+	// rather than wedge.
+	for i := 0; i < 2048 && s.InTransition(); i++ {
+		if _, err := s.Insert(jobs.Job{Name: "drain-probe", Window: jobs.Window{Start: 0, End: 1024}}); err != nil {
+			t.Fatalf("drain probe insert: %v", err)
+		}
+		if _, err := s.Delete("drain-probe"); err != nil {
+			t.Fatalf("drain probe delete: %v", err)
+		}
+	}
+	if s.InTransition() {
+		t.Fatal("transition failed to drain after 2048 idle requests")
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("post-drain self-check: %v", err)
+	}
+}
+
+// TestStormPoisonedRecovery drives trim across its doubling threshold
+// with an insert that turns out infeasible for the inner scheduler:
+// the layer must reject exactly that job, restore the previous state,
+// and keep serving.
+func TestStormPoisonedRecovery(t *testing.T) {
+	s := New(1, func() sched.Scheduler { return core.New() })
+	if _, err := s.Insert(jobs.Job{Name: "a", Window: jobs.Window{Start: 0, End: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Same unit window on one machine: infeasible no matter how the
+	// trim layer resizes around it. The attempt crosses n* (1 -> 2), so
+	// the rejection exercises the rebuild-then-recover path.
+	if _, err := s.Insert(jobs.Job{Name: "b", Window: jobs.Window{Start: 0, End: 1}}); !errors.Is(err, sched.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("self-check after rejected insert: %v", err)
+	}
+	if s.Active() != 1 {
+		t.Fatalf("active = %d after recovery, want 1", s.Active())
+	}
+	if _, err := s.Insert(jobs.Job{Name: "c", Window: jobs.Window{Start: 1, End: 2}}); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+	if _, err := s.Delete("a"); err != nil {
+		t.Fatalf("delete after recovery: %v", err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatalf("final self-check: %v", err)
+	}
+}

@@ -210,13 +210,13 @@ func Mixed(cfg MixedConfig) ([]jobs.Request, error) {
 		return nil, err
 	}
 	narrow, err := NewGenerator(Config{
-		Seed: cfg.Seed + 1, Machines: narrowMachines, Gamma: cfg.Gamma,
+		Seed: subSeed(cfg.Seed, 1), Machines: narrowMachines, Gamma: cfg.Gamma,
 		Horizon: cfg.Horizon, MinSpan: 1, MaxSpan: narrowMax,
 	})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	rng := rand.New(rand.NewSource(subSeed(cfg.Seed, 2)))
 	reqs := make([]jobs.Request, 0, cfg.Steps)
 	for len(reqs) < cfg.Steps {
 		// 1-in-4 requests touch the batch class; renaming keeps the two
@@ -474,7 +474,7 @@ func Elastic(cfg ElasticConfig) ([]ElasticPhase, error) {
 		return nil, err
 	}
 	burst, err := NewGenerator(Config{
-		Seed: cfg.Seed + 1, Machines: cfg.PeakMachines - cfg.BaseMachines, Gamma: cfg.Gamma,
+		Seed: subSeed(cfg.Seed, 1), Machines: cfg.PeakMachines - cfg.BaseMachines, Gamma: cfg.Gamma,
 		Horizon: cfg.Horizon, Steps: cfg.StepsPerPhase,
 	})
 	if err != nil {
@@ -493,7 +493,7 @@ func Elastic(cfg ElasticConfig) ([]ElasticPhase, error) {
 
 	// Burst phase: interleave steady churn with burst-class requests,
 	// then delete every remaining burst job so the pool can shrink.
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	rng := rand.New(rand.NewSource(subSeed(cfg.Seed, 2)))
 	var p2 []jobs.Request
 	for i := 0; i < cfg.StepsPerPhase; i++ {
 		if rng.Intn(3) == 0 {

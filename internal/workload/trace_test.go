@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+)
+
+// fingerprint renders a request sequence to a comparable string.
+func fingerprint(reqs []jobs.Request) string {
+	var b strings.Builder
+	for _, r := range reqs {
+		fmt.Fprintf(&b, "%d %s %d %d;", r.Kind, r.Name, r.Window.Start, r.Window.End)
+	}
+	return b.String()
+}
+
+// TestSubSeedStreamIndependence pins the seed-derivation fix: additive
+// offsets made (seed S, stream 2) collide with (seed S+2, stream 0);
+// the splitmix64 derivation must keep every (seed, stream) pair
+// distinct across a dense grid of nearby seeds.
+func TestSubSeedStreamIndependence(t *testing.T) {
+	seen := map[int64]string{}
+	for seed := int64(-8); seed < 64; seed++ {
+		for stream := uint64(0); stream < 4; stream++ {
+			s := subSeed(seed, stream)
+			key := fmt.Sprintf("seed %d stream %d", seed, stream)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("subSeed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+// TestMixedSeedsIndependent is the scenario-level pin: under the old
+// cfg.Seed+k derivation, Mixed with seeds S and S+1 shared the narrow
+// generator's stream with the S+1 run's wide stream, and S and S+2
+// shared the interleaving stream. All nearby seeds must now produce
+// pairwise-distinct sequences.
+func TestMixedSeedsIndependent(t *testing.T) {
+	prints := map[string]int64{}
+	for seed := int64(7); seed < 12; seed++ {
+		reqs, err := Mixed(MixedConfig{Seed: seed, Steps: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fingerprint(reqs)
+		if prev, dup := prints[fp]; dup {
+			t.Fatalf("Mixed seeds %d and %d produced identical sequences", prev, seed)
+		}
+		prints[fp] = seed
+	}
+}
+
+func TestTraceReplayDeterministicAndWellFormed(t *testing.T) {
+	cfg := TraceConfig{Seed: 3, Steps: 3000}
+	a, err := TraceReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("trace not deterministic for a fixed seed")
+	}
+	if len(a) != 3000 {
+		t.Fatalf("len = %d, want 3000", len(a))
+	}
+	replayWellFormed(t, a)
+
+	c, err := TraceReplay(TraceConfig{Seed: 4, Steps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Fatal("distinct seeds produced identical traces")
+	}
+}
+
+// TestTraceReplayDiurnal checks the population actually swings: the
+// peak of the live-population trajectory must clearly exceed the
+// trough once the curve is warmed up.
+func TestTraceReplayDiurnal(t *testing.T) {
+	reqs, err := TraceReplay(TraceConfig{Seed: 5, Steps: 4000, PeakToTrough: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, minPop, maxPop := 0, 1<<30, 0
+	for i, r := range reqs {
+		if r.Kind == jobs.Insert {
+			pop++
+		} else {
+			pop--
+		}
+		// Skip the initial ramp-up before measuring the swing.
+		if i < len(reqs)/4 {
+			continue
+		}
+		if pop < minPop {
+			minPop = pop
+		}
+		if pop > maxPop {
+			maxPop = pop
+		}
+	}
+	if maxPop < 2*minPop {
+		t.Errorf("diurnal swing too flat: population stayed in [%d, %d]", minPop, maxPop)
+	}
+}
+
+// TestTraceReplayHeavyTail checks the bounded-Pareto spans: narrow
+// windows must dominate, but genuinely wide windows must occur.
+func TestTraceReplayHeavyTail(t *testing.T) {
+	cfg := TraceConfig{Seed: 6, Steps: 4000, Horizon: 4096}
+	reqs, err := TraceReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, wide, inserts := 0, 0, 0
+	for _, r := range reqs {
+		if r.Kind != jobs.Insert {
+			continue
+		}
+		inserts++
+		span := r.Window.Span()
+		if !mathx.IsPow2(span) {
+			t.Fatalf("span %d not a power of two", span)
+		}
+		if span <= 2 {
+			narrow++
+		}
+		if span >= cfg.Horizon/16 {
+			wide++
+		}
+	}
+	if narrow < inserts/2 {
+		t.Errorf("only %d/%d inserts narrow — tail not bottom-heavy", narrow, inserts)
+	}
+	if wide == 0 {
+		t.Error("no wide windows at all — tail too light")
+	}
+}
+
+// TestTraceReplayHotSkew checks the skew knob is exact in both
+// directions: hot inserts hit the predicate, cold inserts avoid it,
+// and the hot share tracks HotFraction.
+func TestTraceReplayHotSkew(t *testing.T) {
+	hot := func(name string) bool {
+		// Deterministic pseudo-shard: fnv over the name, 4 "shards".
+		var h uint32 = 2166136261
+		for i := 0; i < len(name); i++ {
+			h ^= uint32(name[i])
+			h *= 16777619
+		}
+		return h%4 == 0
+	}
+	const frac = 0.6
+	reqs, err := TraceReplay(TraceConfig{Seed: 7, Steps: 3000, HotFraction: frac, HotRoute: hot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotN, inserts := 0, 0
+	for _, r := range reqs {
+		if r.Kind != jobs.Insert {
+			continue
+		}
+		inserts++
+		if hot(r.Name) {
+			hotN++
+		}
+	}
+	got := float64(hotN) / float64(inserts)
+	if got < frac-0.05 || got > frac+0.05 {
+		t.Errorf("hot share = %.3f (%d/%d inserts), want ~%.2f", got, hotN, inserts, frac)
+	}
+}
+
+func TestAdversarialDeterministicAndWellFormed(t *testing.T) {
+	cfg := AdversarialConfig{Seed: 9, Cycles: 4}
+	a, err := Adversarial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Adversarial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("adversarial not deterministic for a fixed seed")
+	}
+	replayWellFormed(t, a)
+}
+
+// TestAdversarialWaves checks the population trajectory actually walks
+// across the trim thresholds: every cycle must reach Peak and drain
+// below Peak/TroughDivisor, which is what forces n* doublings and
+// halvings downstream.
+func TestAdversarialWaves(t *testing.T) {
+	cfg := AdversarialConfig{Seed: 10, Cycles: 5, Peak: 512, TroughDivisor: 8}
+	reqs, err := Adversarial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, peaks, troughs := 0, 0, 0
+	atPeak := false
+	for _, r := range reqs {
+		if r.Kind == jobs.Insert {
+			pop++
+		} else {
+			pop--
+		}
+		if pop >= cfg.Peak && !atPeak {
+			peaks++
+			atPeak = true
+		}
+		if pop <= cfg.Peak/cfg.TroughDivisor && atPeak {
+			troughs++
+			atPeak = false
+		}
+	}
+	if peaks < cfg.Cycles || troughs < cfg.Cycles {
+		t.Errorf("saw %d peaks and %d drains, want %d of each", peaks, troughs, cfg.Cycles)
+	}
+}

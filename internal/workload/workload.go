@@ -18,6 +18,23 @@ import (
 	"repro/internal/mathx"
 )
 
+// subSeed derives an independent seed for a named sub-stream of a
+// scenario from its top-level seed. It is a splitmix64 round over the
+// (seed, stream) pair, so nearby seeds and nearby stream IDs land in
+// unrelated parts of the sequence space. Scenarios must use this —
+// never `cfg.Seed + k` — to seed secondary generators: additive
+// offsets alias (seed S, stream 2) with (seed S+2, stream 0), which
+// correlates runs that are supposed to be independent.
+func subSeed(seed int64, stream uint64) int64 {
+	x := uint64(seed) ^ (0x9e3779b97f4a7c15 * (stream + 1))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
 // Config parameterizes the random aligned churn generator.
 type Config struct {
 	Seed     int64

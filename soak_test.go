@@ -3,10 +3,12 @@
 package realloc
 
 import (
+	"encoding/json"
 	"os"
 	"strconv"
 	"testing"
 
+	"repro/internal/jobs"
 	"repro/internal/workload"
 )
 
@@ -77,6 +79,109 @@ func TestSoakFullStack(t *testing.T) {
 	}
 	t.Logf("soak: %d requests, %.2f reallocs/req mean, worst %d, active %d",
 		steps, float64(total)/float64(steps), maxCost, s.Active())
+}
+
+// curvePoint is one bucket of the reallocation-cost-over-time curve a
+// scenario soak emits: requests [Start, Start+Requests) of the replay
+// paid Reallocations reassignments and Migrations cross-shard moves.
+type curvePoint struct {
+	Start         int `json:"start"`
+	Requests      int `json:"requests"`
+	Reallocations int `json:"reallocations"`
+	Migrations    int `json:"migrations"`
+}
+
+// replayCurve replays reqs through a fresh full stack and buckets the
+// per-request costs into a fixed-resolution curve.
+func replayCurve(t *testing.T, machines int, reqs []jobs.Request, buckets int) []curvePoint {
+	t.Helper()
+	s := New(WithMachines(machines))
+	width := (len(reqs) + buckets - 1) / buckets
+	if width < 1 {
+		width = 1
+	}
+	curve := make([]curvePoint, (len(reqs)+width-1)/width)
+	for i := range curve {
+		curve[i].Start = i * width
+	}
+	for i, r := range reqs {
+		c, err := Apply(s, r)
+		if err != nil {
+			t.Fatalf("request %d (%s): %v", i, r, err)
+		}
+		b := &curve[i/width]
+		b.Requests++
+		b.Reallocations += c.Reallocations
+		b.Migrations += c.Migrations
+	}
+	if err := Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	return curve
+}
+
+// TestSoakScenarioCurves soaks the full stack on the trace-shaped and
+// adversarial scenarios, emitting a reallocation-cost-over-time curve
+// per scenario. The adversarial walk must show the rebuild storms it
+// was built to force — a spiky curve, not a flat one. Set SOAK_CURVES
+// to a path to dump the curves as JSON for offline plotting.
+func TestSoakScenarioCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	steps := soakSteps(t) / 2
+	const m = 4
+
+	trace, err := workload.TraceReplay(workload.TraceConfig{
+		Seed: 2013, Machines: m, Gamma: 8, Horizon: 1 << 13, Steps: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := steps / 2000
+	if cycles < 2 {
+		cycles = 2
+	}
+	storm, err := workload.Adversarial(workload.AdversarialConfig{
+		Seed: 2017, Machines: m, Gamma: 8, Horizon: 1 << 12, Cycles: cycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	curves := map[string][]curvePoint{
+		"trace":       replayCurve(t, m, trace, 64),
+		"adversarial": replayCurve(t, m, storm, 64),
+	}
+	for name, curve := range curves {
+		total, maxB := 0, 0
+		for _, b := range curve {
+			total += b.Reallocations
+			if b.Reallocations > maxB {
+				maxB = b.Reallocations
+			}
+		}
+		mean := total / len(curve)
+		t.Logf("%s: %d requests, %d reallocations total, worst bucket %d (mean %d)",
+			name, len(curves[name])*curve[0].Requests, total, maxB, mean)
+		if name == "adversarial" {
+			// The threshold walk exists to force rebuild storms: its
+			// curve must spike well above its own mean.
+			if maxB < 2*mean || maxB == 0 {
+				t.Errorf("adversarial curve too flat: worst bucket %d vs mean %d", maxB, mean)
+			}
+		}
+	}
+	if path := os.Getenv("SOAK_CURVES"); path != "" {
+		blob, err := json.MarshalIndent(curves, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("curves written to %s", path)
+	}
 }
 
 func TestVerifyHelper(t *testing.T) {
